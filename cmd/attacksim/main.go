@@ -1,0 +1,116 @@
+// Command attacksim regenerates the attack experiments of the paper:
+//
+//	attacksim -fig6    lifetime under the four attack modes (Figure 6)
+//	attacksim -fig7    toss-up interval sweep (Figure 7 a & b)
+//
+// Both run on the scaled default system; -pages/-endurance/-seed adjust the
+// scale. Results print as tables plus ASCII bar charts mirroring the
+// figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twl"
+	"twl/internal/report"
+)
+
+func main() {
+	var (
+		fig6      = flag.Bool("fig6", false, "run the Figure 6 attack grid")
+		fig7      = flag.Bool("fig7", false, "run the Figure 7 interval sweep")
+		pages     = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
+		endurance = flag.Float64("endurance", 0, "mean endurance (default: DefaultSystem)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		requests  = flag.Int("requests", 0, "Figure 7a requests per benchmark (default 300000)")
+		replicate = flag.Int("replicate", 0, "replicate the Figure 6 TWL/BWL inconsistent cells over N seeds and report mean±std")
+	)
+	flag.Parse()
+	if !*fig6 && !*fig7 {
+		*fig6 = true
+		*fig7 = true
+	}
+
+	sys := twl.DefaultSystem(*seed)
+	if *pages > 0 {
+		sys.Pages = *pages
+	}
+	if *endurance > 0 {
+		sys.MeanEndurance = *endurance
+	}
+
+	if *fig6 {
+		runFig6(sys)
+	}
+	if *fig7 {
+		cfg := twl.DefaultFig7Config()
+		if *requests > 0 {
+			cfg.RequestsPerBenchmark = *requests
+		}
+		runFig7(sys, cfg)
+	}
+	if *replicate > 0 {
+		runReplicate(sys, *replicate)
+	}
+}
+
+func runReplicate(sys twl.SystemConfig, n int) {
+	fmt.Printf("\nReplication over %d seeds (normalized lifetime under the inconsistent attack):\n", n)
+	for _, scheme := range []string{"TWL_swp", "BWL", "SR"} {
+		res, err := twl.ReplicateAttackLifetime(sys, n, scheme, twl.AttackInconsistent)
+		fatal(err)
+		fmt.Printf("%-8s mean %.3f  std %.3f  min %.3f  max %.3f\n",
+			scheme, res.Mean, res.StdDev, res.Min, res.Max)
+	}
+}
+
+func runFig6(sys twl.SystemConfig) {
+	res, err := twl.RunFig6(sys, twl.DefaultFig6Config())
+	fatal(err)
+	tb := report.NewTable(
+		fmt.Sprintf("Figure 6 — lifetime under attacks (years; ideal = %.2f y at 8 GB/s)", res.IdealYears),
+		"scheme", "repeat", "random", "scan", "inconsistent", "gmean")
+	for _, s := range res.Schemes {
+		row := []string{s}
+		for _, m := range res.Modes {
+			row = append(row, fmt.Sprintf("%.2f", res.Cells[s][m.String()].Years))
+		}
+		row = append(row, fmt.Sprintf("%.2f", res.Gmean[s]))
+		tb.AddRow(row...)
+	}
+	fatal(tb.Render(os.Stdout))
+
+	chart := report.NewSeries("\nGmean lifetime under attacks", "y")
+	for _, s := range res.Schemes {
+		chart.Add(s, res.Gmean[s])
+	}
+	fatal(chart.Render(os.Stdout, 40))
+
+	inc := res.Cells["BWL"]["inconsistent"]
+	fmt.Printf("\nBWL under the inconsistent attack: %.3g years (%.0f hours) — the paper's headline collapse.\n",
+		inc.Years, inc.Seconds/3600)
+}
+
+func runFig7(sys twl.SystemConfig, cfg twl.Fig7Config) {
+	pts, err := twl.RunFig7(sys, cfg)
+	fatal(err)
+	tb := report.NewTable("\nFigure 7 — choosing the toss-up interval",
+		"interval", "swap/write ratio (PARSEC gmean)", "scan-attack lifetime (y)")
+	for _, p := range pts {
+		tb.AddRow(fmt.Sprintf("%d", p.Interval),
+			fmt.Sprintf("%.4f", p.SwapWriteRatio),
+			fmt.Sprintf("%.2f", p.ScanLifetimeYears))
+	}
+	fatal(tb.Render(os.Stdout))
+	fmt.Printf("\nMinimum requirement: %.0f years (server replacement cycle); the paper picks interval 32.\n",
+		twl.MinimumLifetimeYears)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(1)
+	}
+}

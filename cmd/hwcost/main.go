@@ -1,0 +1,52 @@
+// Command hwcost prints the Section 5.4 design-overhead report: per-page
+// metadata storage (WCT/ET/RT/SWPT bits) and controller logic gates for the
+// full-size 32 GB system, plus any alternative capacity via -pages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twl"
+	"twl/internal/hwcost"
+	"twl/internal/report"
+)
+
+func main() {
+	var (
+		pages    = flag.Int("pages", 0, "page count for an alternative system (default: 32GB/4KB)")
+		pageSize = flag.Int("pagesize", 4096, "page size in bytes")
+	)
+	flag.Parse()
+
+	hc := twl.HardwareCost()
+	tb := report.NewTable("Section 5.4 — TWL design overhead (32 GB system)", "item", "cost")
+	tb.AddRowf("WCT entry", fmt.Sprintf("%d bits", hc.Storage.WCTBits))
+	tb.AddRowf("ET entry", fmt.Sprintf("%d bits", hc.Storage.ETBits))
+	tb.AddRowf("RT entry", fmt.Sprintf("%d bits", hc.Storage.RTBits))
+	tb.AddRowf("SWPT entry", fmt.Sprintf("%d bits", hc.Storage.SWPTBits))
+	tb.AddRowf("total per page", fmt.Sprintf("%d bits", hc.TotalBits))
+	tb.AddRowf("storage ratio", fmt.Sprintf("%.3g (paper: 2.5e-3)", hc.StorageRatio))
+	tb.AddRowf("RNG (8-bit Feistel)", fmt.Sprintf("<=%d gates", hc.Logic.RNGGates))
+	tb.AddRowf("divider + comparators", fmt.Sprintf("%d gates", hc.Logic.ArithmeticGates))
+	tb.AddRowf("total logic", fmt.Sprintf("%d gates", hc.Logic.TotalGates))
+	fatal(tb.Render(os.Stdout))
+
+	if *pages > 0 {
+		cfg := hwcost.DefaultStorageConfig()
+		cfg.Pages = *pages
+		cfg.PageSize = *pageSize
+		s, err := hwcost.Storage(cfg)
+		fatal(err)
+		fmt.Printf("\nAlternative system (%d pages x %d B): %d bits/page, ratio %.3g\n",
+			*pages, *pageSize, s.TotalBits(), s.Ratio(*pageSize))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwcost:", err)
+		os.Exit(1)
+	}
+}

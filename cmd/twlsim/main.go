@@ -1,0 +1,157 @@
+// Command twlsim runs a single wear-leveling lifetime simulation and prints
+// the outcome: scheme, workload (attack or PARSEC benchmark), normalized
+// lifetime, extrapolated years, swap overhead and wear statistics.
+//
+// Examples:
+//
+//	twlsim -scheme TWL_swp -attack inconsistent
+//	twlsim -scheme BWL -bench canneal -pages 4096 -endurance 40000
+//	twlsim -config                      # print the simulated configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twl"
+	"twl/internal/attack"
+	"twl/internal/pcm"
+	"twl/internal/report"
+	"twl/internal/sim"
+	"twl/internal/trace"
+)
+
+func main() {
+	var (
+		scheme     = flag.String("scheme", "TWL_swp", "wear-leveling scheme (see -config for the list)")
+		attackMode = flag.String("attack", "", "attack workload: repeat, random, scan, inconsistent")
+		bench      = flag.String("bench", "", "PARSEC benchmark workload (Table 2 name)")
+		pages      = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
+		endurance  = flag.Float64("endurance", 0, "mean endurance in writes (default: DefaultSystem)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		bandwidth  = flag.Float64("bw", twl.Fig6AttackBandwidth, "write bandwidth in B/s for year conversion")
+		config     = flag.Bool("config", false, "print the simulated configuration and exit")
+		paranoid   = flag.Bool("paranoid", false, "check scheme invariants during the run")
+		heatmap    = flag.Bool("heatmap", false, "print the final wear heatmap (wear/endurance per page)")
+	)
+	flag.Parse()
+
+	if *config {
+		printConfig()
+		return
+	}
+
+	sys := twl.DefaultSystem(*seed)
+	if *pages > 0 {
+		sys.Pages = *pages
+	}
+	if *endurance > 0 {
+		sys.MeanEndurance = *endurance
+	}
+	dev, err := sys.NewDevice()
+	fatal(err)
+	s, err := twl.NewScheme(*scheme, dev, *seed+7)
+	fatal(err)
+
+	var src sim.Source
+	var ideal float64
+	switch {
+	case *attackMode != "" && *bench != "":
+		fatal(fmt.Errorf("choose either -attack or -bench, not both"))
+	case *attackMode != "":
+		mode, err := parseMode(*attackMode)
+		fatal(err)
+		st, err := attack.New(attack.DefaultConfig(mode, sys.Pages, *seed+11))
+		fatal(err)
+		src = sim.FromAttack(st)
+		ideal = twl.IdealYears(*bandwidth)
+		fmt.Printf("workload: %s attack at %.3g B/s (ideal lifetime %.2f years)\n",
+			mode, *bandwidth, ideal)
+	default:
+		name := *bench
+		if name == "" {
+			name = "canneal"
+		}
+		b, err := trace.BenchmarkByName(name)
+		fatal(err)
+		g, err := trace.NewSynthetic(b, sys.Pages, *seed+13)
+		fatal(err)
+		src = sim.FromWorkload(g)
+		ideal = twl.IdealYears(b.WriteBandwidthMBps * 1e6)
+		fmt.Printf("workload: PARSEC %s at %.0f MB/s (ideal lifetime %.1f years, footprint %d pages)\n",
+			b.Name, b.WriteBandwidthMBps, ideal, g.Footprint())
+	}
+
+	cfg := sim.LifetimeConfig{}
+	if *paranoid {
+		cfg.CheckEvery = 100000
+	}
+	res, err := sim.RunLifetime(s, src, cfg)
+	fatal(err)
+
+	tb := report.NewTable(fmt.Sprintf("Lifetime simulation: %s over %d pages (mean endurance %.3g)",
+		res.Scheme, sys.Pages, sys.MeanEndurance), "metric", "value")
+	tb.AddRowf("demand writes", fmt.Sprintf("%d", res.DemandWrites))
+	tb.AddRowf("device writes", fmt.Sprintf("%d", res.DeviceWrites))
+	tb.AddRowf("swap writes", fmt.Sprintf("%d", res.SwapWrites))
+	tb.AddRowf("swap/write ratio", fmt.Sprintf("%.4f", float64(res.SwapWrites)/float64(max64(res.DemandWrites, 1))))
+	tb.AddRowf("normalized lifetime", fmt.Sprintf("%.4f", res.Normalized))
+	tb.AddRowf("lifetime (years)", fmt.Sprintf("%.2f", res.Years(ideal)))
+	if res.Capped {
+		tb.AddRowf("note", "run hit the write cap without a failure")
+	} else {
+		tb.AddRowf("first failed page", fmt.Sprintf("%d (endurance %d)", res.FailedPage, dev.Endurance(res.FailedPage)))
+	}
+	fatal(tb.Render(os.Stdout))
+
+	if *heatmap {
+		fractions := make([]float64, dev.Pages())
+		for p := 0; p < dev.Pages(); p++ {
+			fractions[p] = float64(dev.Wear(p)) / float64(dev.Endurance(p))
+		}
+		fmt.Println()
+		fatal(report.NewHeatmap("Wear / endurance by physical page", fractions, 64).Render(os.Stdout))
+	}
+}
+
+func printConfig() {
+	sys := twl.DefaultSystem(1)
+	geom := pcm.DefaultGeometry()
+	timing := pcm.DefaultTiming()
+	tb := report.NewTable("Simulated configuration (Table 1)", "parameter", "value")
+	tb.AddRowf("full-size PCM", fmt.Sprintf("%d GB, %d B pages, %d B lines, %d ranks, %d banks",
+		geom.Capacity()>>30, geom.PageSize, geom.LineSize, geom.Ranks, geom.Banks))
+	tb.AddRowf("read/set/reset latency", fmt.Sprintf("%d/%d/%d cycles at %.0f GHz",
+		timing.ReadCycles, timing.SetCycles, timing.ResetCycles, timing.ClockHz/1e9))
+	tb.AddRowf("endurance model", fmt.Sprintf("Gaussian, mean 1e8, sigma 11%% (scaled: mean %.3g over %d pages)",
+		sys.MeanEndurance, sys.Pages))
+	tb.AddRowf("TWL inter-pair swap interval", "128")
+	tb.AddRowf("TWL toss-up interval", "32")
+	tb.AddRowf("RNG / control / table latency", "4 / 5 / 10 cycles")
+	tb.AddRowf("schemes", "BWL, SR, SR2, TWL_swp, TWL_ap, TWL_rand, WRL, StartGap, NOWL")
+	tb.Render(os.Stdout)
+}
+
+func parseMode(s string) (attack.Mode, error) {
+	for _, m := range attack.Modes() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown attack %q (repeat, random, scan, inconsistent)", s)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twlsim:", err)
+		os.Exit(1)
+	}
+}

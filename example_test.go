@@ -1,0 +1,87 @@
+package twl_test
+
+import (
+	"fmt"
+
+	"twl"
+)
+
+// Build a scaled PCM system, attach TWL, and measure its lifetime under the
+// paper's inconsistent-write attack.
+func Example() {
+	sys := twl.SystemConfig{
+		Pages: 512, PageSize: 4096, MeanEndurance: 5000, SigmaFraction: 0.11, Seed: 1,
+	}
+	dev, err := sys.NewDevice()
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := twl.NewScheme("TWL_swp", dev, 7)
+	if err != nil {
+		panic(err)
+	}
+	attack, err := twl.NewAttack(twl.AttackInconsistent, sys.Pages, 11)
+	if err != nil {
+		panic(err)
+	}
+	res, err := twl.RunLifetime(scheme, attack)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("survives more than half of the ideal lifetime:", res.Normalized > 0.5)
+	// Output:
+	// survives more than half of the ideal lifetime: true
+}
+
+// Construct a TWL engine with an explicit configuration instead of the
+// paper defaults.
+func ExampleNewTWL() {
+	sys := twl.SystemConfig{
+		Pages: 256, PageSize: 4096, MeanEndurance: 1e9, SigmaFraction: 0.11, Seed: 2,
+	}
+	dev, _ := sys.NewDevice()
+	cfg := twl.TWLConfig{
+		Pairing:               twl.PairAdjacent,
+		TossUpInterval:        8,
+		InterPairSwapInterval: 64,
+		Seed:                  3,
+		UseFeistel:            true,
+	}
+	engine, err := twl.NewTWL(dev, cfg)
+	if err != nil {
+		panic(err)
+	}
+	engine.Write(0, 0xC0FFEE)
+	v, _ := engine.Read(0)
+	fmt.Printf("%s read back %#x\n", engine.Name(), v)
+	// Output:
+	// TWL_ap read back 0xc0ffee
+}
+
+// The Section 5.4 hardware-cost report.
+func ExampleHardwareCost() {
+	hc := twl.HardwareCost()
+	fmt.Printf("%d bits per page, %d logic gates\n", hc.TotalBits, hc.Logic.TotalGates)
+	// Output:
+	// 80 bits per page, 840 logic gates
+}
+
+// Ideal lifetime of the full-size 32 GB system at the Figure 6 attack
+// bandwidth.
+func ExampleIdealYears() {
+	fmt.Printf("%.1f years\n", twl.IdealYears(twl.Fig6AttackBandwidth))
+	// Output:
+	// 6.7 years
+}
+
+// Table 2 rows are available programmatically.
+func ExampleBenchmarkByName() {
+	b, err := twl.BenchmarkByName("vips")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s writes %.0f MB/s; ideal lifetime %.0f years\n",
+		b.Name, b.WriteBandwidthMBps, b.IdealLifetimeYears)
+	// Output:
+	// vips writes 3309 MB/s; ideal lifetime 16 years
+}

@@ -1,0 +1,70 @@
+// attack_demo walks through the Section 3 wear-out attack step by step on a
+// tiny Figure 1-sized system, showing exactly how the inconsistent write
+// pattern turns Wear Rate Leveling against its own PCM, and why TWL does
+// not care.
+//
+//	go run ./examples/attack_demo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twl"
+	"twl/internal/attack"
+	"twl/internal/sim"
+)
+
+func main() {
+	// A small array keeps the run instant: 512 pages, endurance ~5000.
+	sys := twl.SystemConfig{
+		Pages: 512, PageSize: 4096, MeanEndurance: 5000, SigmaFraction: 0.11, Seed: 3,
+	}
+
+	fmt.Println("=== The inconsistent-write attack (Section 3.2) ===")
+	fmt.Println()
+	fmt.Println("Step 1: write addresses with an ascending intensity ramp, keeping half")
+	fmt.Println("        of the targets completely cold, and watch for the latency spike")
+	fmt.Println("        of a swap phase.")
+	fmt.Println("Step 2: when the swap completes, REVERSE the ramp: the addresses the")
+	fmt.Println("        scheme just parked on its weakest pages now take 90-write bursts.")
+	fmt.Println()
+
+	for _, name := range []string{"WRL", "BWL", "SR", "TWL_swp"} {
+		dev, err := sys.NewDevice()
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheme, err := twl.NewScheme(name, dev, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := attack.DefaultConfig(attack.Inconsistent, sys.Pages, 5)
+		st, err := attack.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunLifetime(scheme, sim.FromAttack(st), sim.LifetimeConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "DEAD"
+		switch {
+		case res.Normalized > 0.45:
+			verdict = "protected"
+		case res.Normalized > 0.2:
+			verdict = "degraded"
+		}
+		fmt.Printf("%-8s first page failed after %8d writes (%.1f%% of ideal) — %s\n",
+			name, res.DemandWrites, 100*res.Normalized, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("WRL and BWL trust the observed write distribution to persist; the")
+	fmt.Println("reversal lands the heaviest writes exactly on their weakest pages.")
+	fmt.Println("SR is merely degraded — it is oblivious, so it cannot be misled, but")
+	fmt.Println("its uniform leveling is capped by the weakest page (and this demo runs")
+	fmt.Println("it with full-scale refresh rates; see EXPERIMENTS.md on scaling). TWL")
+	fmt.Println("reallocates every write probabilistically by endurance — there is no")
+	fmt.Println("prediction to mislead.")
+}

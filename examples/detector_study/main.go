@@ -1,0 +1,101 @@
+// detector_study contrasts the two defense philosophies around the paper:
+// reactive (detect the malicious stream, then respond — references [11]/[7],
+// implemented here as the detector-driven RBSG) versus structural (TWL,
+// which needs no detection because there is no prediction to mislead).
+//
+// The detector's two statistics stream live for each workload, then the
+// lifetime comparison shows where reaction lags structure.
+//
+//	go run ./examples/detector_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twl"
+	"twl/internal/attack"
+	"twl/internal/sim"
+	"twl/internal/trace"
+)
+
+func main() {
+	const pages = 512
+
+	fmt.Println("=== What the detector sees ===")
+	fmt.Println()
+	fmt.Printf("%-22s %13s %12s %8s\n", "write stream", "concentration", "correlation", "alarm")
+	observe := func(name string, next func() (int, bool)) {
+		d, err := twl.NewDetector(pages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writes := 0
+		for writes < 200000 {
+			addr, w := next()
+			if !w {
+				continue
+			}
+			d.Observe(addr)
+			writes++
+		}
+		st := d.Stats()
+		fmt.Printf("%-22s %13.3f %12.3f %8v\n", name, st.Concentration, st.Correlation, d.EverAlarmed())
+	}
+
+	benign, err := trace.BenchmarkByName("canneal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := trace.NewSynthetic(benign, pages, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	observe("benign (canneal)", g.Next)
+
+	for _, mode := range []twl.AttackMode{twl.AttackRepeat, twl.AttackInconsistent, twl.AttackScan} {
+		st, err := attack.New(attack.DefaultConfig(mode, pages, 7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb := attack.Feedback{}
+		observe(mode.String()+" attack", func() (int, bool) { return st.Next(fb), true })
+	}
+
+	fmt.Println()
+	fmt.Println("Repeat screams (concentration ~1); the inconsistent attack betrays")
+	fmt.Println("itself through anti-correlated windows; scan is indistinguishable from")
+	fmt.Println("a benign streaming workload — detection alone cannot cover everything.")
+	fmt.Println()
+
+	fmt.Println("=== Reaction vs structure, under the inconsistent attack ===")
+	fmt.Println()
+	sys := twl.SystemConfig{Pages: pages, PageSize: 4096, MeanEndurance: 5000, SigmaFraction: 0.11, Seed: 9}
+	for _, scheme := range []string{"RBSG", "TWL_swp"} {
+		dev, err := sys.NewDevice()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := twl.NewScheme(scheme, dev, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logical := dev.Pages()
+		if z, ok := s.(interface{ LogicalPages() int }); ok {
+			logical = z.LogicalPages()
+		}
+		st, err := attack.New(attack.DefaultConfig(attack.Inconsistent, logical, 13))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunLifetime(s, sim.FromAttack(st), sim.LifetimeConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s survives %5.1f%% of ideal lifetime\n", scheme, 100*res.Normalized)
+	}
+	fmt.Println()
+	fmt.Println("RBSG's detector fires and its relocation chases the hot set, but the")
+	fmt.Println("attack reverses faster than any reaction; TWL's endurance-proportional")
+	fmt.Println("toss-up never needed to know it was under attack.")
+}

@@ -1,0 +1,85 @@
+// interval_sweep reproduces the Figure 7 design exploration: how the
+// toss-up interval trades swap overhead (panel a) against attack lifetime
+// (panel b), using the public API directly rather than the canned
+// experiment runner — a template for exploring custom TWL configurations.
+//
+//	go run ./examples/interval_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twl"
+	"twl/internal/attack"
+	"twl/internal/sim"
+	"twl/internal/trace"
+)
+
+func main() {
+	sys := twl.SystemConfig{
+		Pages: 1024, PageSize: 4096, MeanEndurance: 10000, SigmaFraction: 0.11, Seed: 8,
+	}
+	bench, err := trace.BenchmarkByName("canneal")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("interval  swap/write ratio  scan-attack lifetime")
+	for _, interval := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := twl.TWLConfig{
+			Pairing:               twl.PairStrongWeak,
+			TossUpInterval:        interval,
+			InterPairSwapInterval: 128,
+			Seed:                  5,
+			UseFeistel:            true,
+		}
+
+		// Panel (a): swap overhead under benign traffic.
+		dev, err := sys.NewDevice()
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err := twl.NewTWL(dev, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := trace.NewSynthetic(bench, sys.Pages, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 200000; i++ {
+			if addr, write := g.Next(); write {
+				engine.Write(addr, uint64(i))
+			}
+		}
+		ratio := engine.Stats().SwapWriteRatio()
+
+		// Panel (b): lifetime under the scan attack.
+		dev2, err := sys.NewDevice()
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine2, err := twl.NewTWL(dev2, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := attack.New(attack.DefaultConfig(attack.Scan, sys.Pages, 7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunLifetime(engine2, sim.FromAttack(st), sim.LifetimeConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		years := res.Years(twl.IdealYears(8e9))
+		marker := ""
+		if interval == 32 {
+			marker = "   <- the paper's choice"
+		}
+		fmt.Printf("%8d  %16.4f  %17.2f y%s\n", interval, ratio, years, marker)
+	}
+
+	fmt.Println("\nSmaller intervals toss more often and pay more swap writes; the paper")
+	fmt.Println("picks 32 to keep overhead near 2% while clearing the 3-year server floor.")
+}

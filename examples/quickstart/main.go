@@ -1,0 +1,48 @@
+// Quickstart: build a scaled PCM system, attach Toss-up Wear Leveling, and
+// watch it survive the paper's inconsistent-write attack that destroys a
+// prediction-based scheme.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twl"
+)
+
+func main() {
+	// A scaled PCM: 1024 pages, Gaussian endurance (mean 10000, sigma 11%).
+	sys := twl.SystemConfig{
+		Pages:         1024,
+		PageSize:      4096,
+		MeanEndurance: 10000,
+		SigmaFraction: 0.11,
+		Seed:          42,
+	}
+
+	for _, name := range []string{"TWL_swp", "BWL", "NOWL"} {
+		dev, err := sys.NewDevice()
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheme, err := twl.NewScheme(name, dev, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attack, err := twl.NewAttack(twl.AttackInconsistent, sys.Pages, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := twl.RunLifetime(scheme, attack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s survived %8d malicious writes — %5.1f%% of ideal lifetime (%.2f years at 8 GB/s)\n",
+			name, res.DemandWrites, 100*res.Normalized, res.Years(twl.IdealYears(8e9)))
+	}
+
+	fmt.Println("\nTWL reallocates writes inside strong-weak pairs by endurance ratio,")
+	fmt.Println("so the attack's misleading write distribution buys it nothing.")
+}

@@ -1,0 +1,3 @@
+module twl
+
+go 1.22

@@ -1,0 +1,159 @@
+// Package analytic provides closed-form lifetime bounds for the
+// wear-leveling schemes, used to cross-validate the simulator: where a
+// scheme's behavior has a known limit, the simulated normalized lifetime
+// must land near (and on the correct side of) the analytic value.
+//
+// All bounds are expressed in the simulator's normalized-lifetime metric:
+// demand writes at first failure divided by the array's total endurance.
+package analytic
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// NoWearLeveling returns the normalized lifetime of an identity mapping
+// under a workload whose hottest page receives hottestShare of the writes
+// and sits on a page with hottestEndurance: the device dies when that page
+// exhausts, after hottestEndurance/hottestShare demand writes.
+func NoWearLeveling(hottestShare, hottestEndurance, totalEndurance float64) (float64, error) {
+	if hottestShare <= 0 || hottestShare > 1 {
+		return 0, errors.New("analytic: hottestShare must be in (0,1]")
+	}
+	if hottestEndurance <= 0 || totalEndurance <= 0 {
+		return 0, errors.New("analytic: endurances must be positive")
+	}
+	return hottestEndurance / hottestShare / totalEndurance, nil
+}
+
+// UniformLeveling returns the normalized lifetime bound of any scheme that
+// equalizes *wear* across pages (Security Refresh, Start-Gap): every page
+// receives the same write count, so the device dies when the weakest page
+// exhausts — at N × E_min demand writes, reduced by the scheme's extra
+// writes (overhead = extra writes per demand write).
+func UniformLeveling(endurance []uint64, overhead float64) (float64, error) {
+	if len(endurance) == 0 {
+		return 0, errors.New("analytic: empty endurance map")
+	}
+	if overhead < 0 {
+		return 0, errors.New("analytic: negative overhead")
+	}
+	min := endurance[0]
+	var total float64
+	for _, e := range endurance {
+		if e < min {
+			min = e
+		}
+		total += float64(e)
+	}
+	n := float64(len(endurance))
+	return n * float64(min) / (1 + overhead) / total, nil
+}
+
+// RemainingLeveling returns the bound of a scheme that equalizes *remaining
+// endurance* (wear-rate leveling, BWL's rotation): pages exhaust together,
+// so the device absorbs the full total endurance minus the overhead share —
+// normalized lifetime 1/(1+overhead). Placement granularity q (writes
+// deposited per placement decision) knocks off roughly one quantum per
+// page: the last quantum a page absorbs can overshoot its remaining life.
+func RemainingLeveling(endurance []uint64, overhead float64, quantum float64) (float64, error) {
+	if len(endurance) == 0 {
+		return 0, errors.New("analytic: empty endurance map")
+	}
+	if overhead < 0 || quantum < 0 {
+		return 0, errors.New("analytic: negative parameter")
+	}
+	var total float64
+	for _, e := range endurance {
+		total += float64(e)
+	}
+	n := float64(len(endurance))
+	usable := total - n*quantum
+	if usable < 0 {
+		usable = 0
+	}
+	return usable / (1 + overhead) / total, nil
+}
+
+// TossUpPair describes one toss-up pair for the TWL bound.
+type TossUpPair struct {
+	EnduranceA uint64
+	EnduranceB uint64
+}
+
+// TWLPairBound returns the normalized lifetime bound of TWL under traffic
+// spread uniformly across pairs, assuming ideal endurance-proportional
+// placement inside each pair: every pair absorbs (E_A+E_B) writes, and the
+// device dies when the pair with the smallest combined endurance exhausts.
+// With strong-weak pairing the pair sums are nearly equal, pushing the
+// bound toward 1; adjacent pairing leaves weak-weak pairs that cap it.
+func TWLPairBound(pairs []TossUpPair, overhead float64) (float64, error) {
+	if len(pairs) == 0 {
+		return 0, errors.New("analytic: no pairs")
+	}
+	if overhead < 0 {
+		return 0, errors.New("analytic: negative overhead")
+	}
+	minSum := math.Inf(1)
+	var total float64
+	for _, p := range pairs {
+		sum := float64(p.EnduranceA) + float64(p.EnduranceB)
+		total += sum
+		if sum < minSum {
+			minSum = sum
+		}
+	}
+	n := float64(len(pairs))
+	return n * minSum / (1 + overhead) / total, nil
+}
+
+// PairStrongWeak forms the SWP pairing over an endurance map (rank k with
+// rank N+1−k), mirroring the engine's policy, for use with TWLPairBound.
+func PairStrongWeak(endurance []uint64) ([]TossUpPair, error) {
+	n := len(endurance)
+	if n == 0 || n%2 != 0 {
+		return nil, errors.New("analytic: need a positive even page count")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return endurance[idx[a]] < endurance[idx[b]] })
+	pairs := make([]TossUpPair, n/2)
+	for k := 0; k < n/2; k++ {
+		pairs[k] = TossUpPair{
+			EnduranceA: endurance[idx[k]],
+			EnduranceB: endurance[idx[n-1-k]],
+		}
+	}
+	return pairs, nil
+}
+
+// PairAdjacent forms the adjacent pairing (2i, 2i+1).
+func PairAdjacent(endurance []uint64) ([]TossUpPair, error) {
+	n := len(endurance)
+	if n == 0 || n%2 != 0 {
+		return nil, errors.New("analytic: need a positive even page count")
+	}
+	pairs := make([]TossUpPair, n/2)
+	for k := 0; k < n/2; k++ {
+		pairs[k] = TossUpPair{EnduranceA: endurance[2*k], EnduranceB: endurance[2*k+1]}
+	}
+	return pairs, nil
+}
+
+// SwapProbability evaluates Equation 2 of the paper: the per-toss-up swap
+// probability for a pair with endurance ratio r = E_A/E_B (E_A ≥ E_B) under
+// traffic hitting page A with probability p:
+//
+//	Prob(swap) = (p + (1−p)·r) / (1 + r)
+func SwapProbability(p, r float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, errors.New("analytic: p must be in [0,1]")
+	}
+	if r < 1 {
+		return 0, errors.New("analytic: r = E_A/E_B must be >= 1")
+	}
+	return (p + (1-p)*r) / (1 + r), nil
+}

@@ -1,0 +1,127 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoWearLeveling(t *testing.T) {
+	// Hottest share 1% on a page with endurance 1000, total 100000:
+	// dies after 1000/0.01 = 100000 demand writes → normalized 1.0.
+	got, err := NoWearLeveling(0.01, 1000, 100000)
+	if err != nil || math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := NoWearLeveling(0, 1, 1); err == nil {
+		t.Fatal("zero share accepted")
+	}
+	if _, err := NoWearLeveling(0.5, 0, 1); err == nil {
+		t.Fatal("zero endurance accepted")
+	}
+}
+
+func TestUniformLeveling(t *testing.T) {
+	end := []uint64{80, 100, 120}
+	// min 80, total 300, n 3 → 240/300 = 0.8; with 25% overhead → 0.64.
+	got, err := UniformLeveling(end, 0.25)
+	if err != nil || math.Abs(got-0.64) > 1e-12 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := UniformLeveling(nil, 0); err == nil {
+		t.Fatal("empty map accepted")
+	}
+	if _, err := UniformLeveling(end, -1); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+}
+
+func TestRemainingLeveling(t *testing.T) {
+	end := []uint64{100, 100}
+	// quantum 10: usable 180/200 = 0.9.
+	got, err := RemainingLeveling(end, 0, 10)
+	if err != nil || math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	// Huge quantum clamps at zero.
+	got, err = RemainingLeveling(end, 0, 1e9)
+	if err != nil || got != 0 {
+		t.Fatalf("clamp got %v, %v", got, err)
+	}
+}
+
+func TestTWLPairBoundSWPBeatsAdjacent(t *testing.T) {
+	// Endurances with real spread: SWP pairs have near-equal sums, adjacent
+	// pairing leaves a weak-weak pair.
+	end := []uint64{50, 60, 140, 150}
+	swp, err := PairStrongWeak(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := PairAdjacent(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSWP, err := TWLPairBound(swp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAP, err := TWLPairBound(ap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SWP sums: 50+150=200, 60+140=200 → min 200 → bound 1.0.
+	if math.Abs(bSWP-1.0) > 1e-12 {
+		t.Fatalf("SWP bound %v, want 1.0", bSWP)
+	}
+	// Adjacent sums: 110, 290 → min 110 → bound 2×110/400 = 0.55.
+	if math.Abs(bAP-0.55) > 1e-12 {
+		t.Fatalf("adjacent bound %v, want 0.55", bAP)
+	}
+	if bSWP <= bAP {
+		t.Fatal("SWP bound not above adjacent")
+	}
+}
+
+func TestPairingValidation(t *testing.T) {
+	if _, err := PairStrongWeak([]uint64{1, 2, 3}); err == nil {
+		t.Fatal("odd count accepted")
+	}
+	if _, err := PairAdjacent(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := TWLPairBound(nil, 0); err == nil {
+		t.Fatal("no pairs accepted")
+	}
+}
+
+func TestSwapProbabilityCases(t *testing.T) {
+	// The four cases of Section 4.2.
+	// Case 1: E_A ≈ E_B (r=1) → 1/2 for any p.
+	for _, p := range []float64{0, 0.3, 0.5, 1} {
+		got, err := SwapProbability(p, 1)
+		if err != nil || math.Abs(got-0.5) > 1e-12 {
+			t.Fatalf("case 1 p=%v: %v, %v", p, got, err)
+		}
+	}
+	// Case 2: r → ∞, p → 1: swap → 0.
+	got, _ := SwapProbability(1, 1e9)
+	if got > 1e-8 {
+		t.Fatalf("case 2: %v", got)
+	}
+	// Case 3: r → ∞, p → 0: swap → 1.
+	got, _ = SwapProbability(0, 1e9)
+	if got < 1-1e-8 {
+		t.Fatalf("case 3: %v", got)
+	}
+	// Case 4: p = 1/2 → 1/2 regardless of r.
+	got, _ = SwapProbability(0.5, 7)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("case 4: %v", got)
+	}
+	if _, err := SwapProbability(-0.1, 2); err == nil {
+		t.Fatal("bad p accepted")
+	}
+	if _, err := SwapProbability(0.5, 0.5); err == nil {
+		t.Fatal("r < 1 accepted")
+	}
+}

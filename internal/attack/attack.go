@@ -1,0 +1,288 @@
+// Package attack implements the wear-out attack streams of Section 5.2:
+// the repeat, random and scan write modes from Qureshi et al. (HPCA 2011)
+// and the paper's own inconsistent-write attack (Section 3.2), which
+// alternates a write-intensity distribution and its reverse across detected
+// swap phases to mislead prediction-based wear leveling.
+//
+// Attackers observe only what the Section 3.1 threat model allows: the
+// addresses they issue and the memory response time of each request (swaps
+// block the memory, producing a detectable latency spike). Internal states
+// of the wear-leveling engine are never consulted.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"twl/internal/rng"
+)
+
+// Mode enumerates the attack modes of Figure 6.
+type Mode int
+
+const (
+	// Repeat fixes one address and writes it forever.
+	Repeat Mode = iota
+	// Random writes uniformly random addresses.
+	Random
+	// Scan writes consecutive addresses, wrapping around.
+	Scan
+	// Inconsistent reverses its write-intensity distribution every time it
+	// detects the end of a swap phase (the paper's attack).
+	Inconsistent
+)
+
+// String implements fmt.Stringer; these labels appear in the Figure 6 rows.
+func (m Mode) String() string {
+	switch m {
+	case Repeat:
+		return "repeat"
+	case Random:
+		return "random"
+	case Scan:
+		return "scan"
+	case Inconsistent:
+		return "inconsistent"
+	default:
+		return fmt.Sprintf("attack.Mode(%d)", int(m))
+	}
+}
+
+// Modes lists all four attack modes in Figure 6 order.
+func Modes() []Mode { return []Mode{Repeat, Random, Scan, Inconsistent} }
+
+// Feedback is what the attacker observes after each request: whether the
+// response time spiked (a swap blocked the request) — the footnote-1 signal.
+type Feedback struct {
+	Blocked bool
+	Cycles  int64
+}
+
+// Stream produces the attack's write addresses one at a time.
+type Stream interface {
+	// Name labels the stream in reports.
+	Name() string
+	// Next returns the next logical page to write, given the feedback from
+	// the previously issued request.
+	Next(fb Feedback) int
+}
+
+// Config describes an attack to construct.
+type Config struct {
+	Mode Mode
+	// Pages is the logical address space the attacker may touch.
+	Pages int
+	// TargetPages is how many distinct addresses the inconsistent attack
+	// cycles over (N in Section 3.2); 0 targets a quarter of the logical
+	// space — the compromised OS can write anywhere, and a large target set
+	// keeps the attacked-cold addresses at the bottom of every hot/cold
+	// ranking. Ignored by other modes.
+	TargetPages int
+	// QuietThreshold is how many unblocked writes after a blocked one the
+	// inconsistent attacker waits before declaring the swap phase over.
+	QuietThreshold int
+	// Seed drives the random mode.
+	Seed uint64
+}
+
+// DefaultConfig returns an attack over pages logical pages.
+func DefaultConfig(mode Mode, pages int, seed uint64) Config {
+	return Config{
+		Mode:           mode,
+		Pages:          pages,
+		TargetPages:    0, // inconsistent mode: a quarter of the space
+		QuietThreshold: 48,
+		Seed:           seed,
+	}
+}
+
+// New constructs the attack stream described by cfg.
+func New(cfg Config) (Stream, error) {
+	if cfg.Pages <= 0 {
+		return nil, errors.New("attack: Pages must be positive")
+	}
+	switch cfg.Mode {
+	case Repeat:
+		return &repeatStream{addr: 0}, nil
+	case Random:
+		return &randomStream{n: cfg.Pages, src: rng.NewXorshift(cfg.Seed)}, nil
+	case Scan:
+		return &scanStream{n: cfg.Pages}, nil
+	case Inconsistent:
+		n := cfg.TargetPages
+		if n == 0 {
+			n = cfg.Pages / 4
+			if n < 2 {
+				n = 2
+			}
+		}
+		if n < 2 {
+			return nil, errors.New("attack: inconsistent attack needs TargetPages >= 2")
+		}
+		if n > cfg.Pages {
+			n = cfg.Pages
+		}
+		q := cfg.QuietThreshold
+		if q <= 0 {
+			q = 48
+		}
+		s := &inconsistentStream{n: n, quietThreshold: q}
+		s.buildWeights()
+		return s, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown mode %v", cfg.Mode)
+	}
+}
+
+type repeatStream struct{ addr int }
+
+func (s *repeatStream) Name() string         { return "repeat" }
+func (s *repeatStream) Next(fb Feedback) int { return s.addr }
+
+type randomStream struct {
+	n   int
+	src *rng.Xorshift
+}
+
+func (s *randomStream) Name() string         { return "random" }
+func (s *randomStream) Next(fb Feedback) int { return s.src.Intn(s.n) }
+
+type scanStream struct {
+	n   int
+	pos int
+}
+
+func (s *scanStream) Name() string { return "scan" }
+func (s *scanStream) Next(fb Feedback) int {
+	a := s.pos
+	s.pos++
+	if s.pos >= s.n {
+		s.pos = 0
+	}
+	return a
+}
+
+// inconsistentStream implements the Section 3.2 attack. It cycles through N
+// target addresses in bursts — address i written weights[i] times per pass,
+// the Figure 3 pattern — and reverses the weight vector whenever it detects
+// that a swap phase has completed: a blocked response followed by
+// quietThreshold unblocked writes. Reversals are rate-limited to a minimum
+// spacing of several passes (the attacker wants the misleading distribution
+// observed for a full prediction window before striking), and a fallback
+// reversal fires if no swap has been observed for many passes, so schemes
+// whose maintenance is invisible still face an alternating distribution.
+//
+// The weight vector is the limit case of the paper's W_1 < W_k < W_N: the
+// lower half of the targets receives zero writes — maximally cold, so any
+// hot/cold classifier files them with the coldest data and parks them on
+// the weakest pages — and the upper half ramps up to the 90-write bursts of
+// the Figure 3 example. After a reversal the halves exchange roles and the
+// previously-frozen addresses take the heaviest bursts.
+type inconsistentStream struct {
+	n              int
+	weights        []int
+	passLen        int
+	quietThreshold int
+
+	idx       int // current target address
+	remaining int // writes left in the current burst
+	reversed  bool
+
+	sawBlock   bool
+	quiet      int
+	sinceFlip  int
+	minFlipAt  int
+	fallbackAt int
+
+	// Reversals counts distribution flips (exported via accessor for tests
+	// and experiment logs).
+	reversals int
+}
+
+// buildWeights constructs the burst lengths: zero for the cold half,
+// an ascending 2..90 ramp (the Figure 3 spread) for the hot half.
+func (s *inconsistentStream) buildWeights() {
+	s.weights = make([]int, s.n)
+	total := 0
+	half := s.n / 2
+	for i := half; i < s.n; i++ {
+		span := s.n - half - 1
+		w := 2
+		if span > 0 {
+			w = 2 + (88*(i-half))/span
+		}
+		s.weights[i] = w
+		total += w
+	}
+	s.passLen = total
+	s.minFlipAt = 4 * total
+	s.fallbackAt = 20 * total
+	s.idx = -1
+	s.advance()
+}
+
+// advance moves to the next target with a non-zero burst.
+func (s *inconsistentStream) advance() {
+	for {
+		s.idx++
+		if s.idx >= s.n {
+			s.idx = 0
+		}
+		if w := s.weight(s.idx); w > 0 {
+			s.remaining = w
+			return
+		}
+	}
+}
+
+func (s *inconsistentStream) Name() string { return "inconsistent" }
+
+// Reversals reports how many times the distribution flipped.
+func (s *inconsistentStream) Reversals() int { return s.reversals }
+
+func (s *inconsistentStream) Next(fb Feedback) int {
+	// Swap-phase detection (Section 3.2 step-1/step-2): remember blocked
+	// responses; once the memory has been quiet for quietThreshold writes
+	// after a block, the swap phase is over — reverse the distribution.
+	if fb.Blocked {
+		s.sawBlock = true
+		s.quiet = 0
+	} else if s.sawBlock {
+		s.quiet++
+		if s.quiet >= s.quietThreshold && s.sinceFlip >= s.minFlipAt {
+			s.reverse()
+		}
+	}
+	s.sinceFlip++
+	if s.sinceFlip >= s.fallbackAt {
+		// No observable swap for many passes: flip anyway.
+		s.reverse()
+	}
+
+	// Burst emission.
+	if s.remaining == 0 {
+		s.advance()
+	}
+	s.remaining--
+	return s.idx
+}
+
+// weight returns the current burst length for address i under the current
+// orientation.
+func (s *inconsistentStream) weight(i int) int {
+	if s.reversed {
+		return s.weights[s.n-1-i]
+	}
+	return s.weights[i]
+}
+
+// reverse flips the distribution and restarts the pass.
+func (s *inconsistentStream) reverse() {
+	s.reversed = !s.reversed
+	s.reversals++
+	s.sawBlock = false
+	s.quiet = 0
+	s.sinceFlip = 0
+	s.idx = -1
+	s.advance()
+}

@@ -1,0 +1,182 @@
+package attack
+
+import (
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) Stream {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{Repeat: "repeat", Random: "random", Scan: "scan", Inconsistent: "inconsistent"}
+	for m, w := range want {
+		if m.String() != w {
+			t.Errorf("%v.String() = %q", int(m), m.String())
+		}
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+	if len(Modes()) != 4 {
+		t.Error("Modes() should list the four Figure 6 attacks")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Mode: Repeat, Pages: 0}); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := New(Config{Mode: Inconsistent, Pages: 8, TargetPages: 1}); err == nil {
+		t.Error("single-target inconsistent attack accepted")
+	}
+	if _, err := New(Config{Mode: Mode(42), Pages: 8}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRepeatFixesAddress(t *testing.T) {
+	s := mustNew(t, DefaultConfig(Repeat, 64, 1))
+	for i := 0; i < 100; i++ {
+		if a := s.Next(Feedback{}); a != 0 {
+			t.Fatalf("repeat emitted %d", a)
+		}
+	}
+}
+
+func TestRandomCoversSpace(t *testing.T) {
+	s := mustNew(t, DefaultConfig(Random, 16, 1))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		a := s.Next(Feedback{})
+		if a < 0 || a >= 16 {
+			t.Fatalf("random address %d out of range", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("random mode touched only %d/16 addresses", len(seen))
+	}
+}
+
+func TestScanIsConsecutive(t *testing.T) {
+	s := mustNew(t, DefaultConfig(Scan, 4, 1))
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		if a := s.Next(Feedback{}); a != w {
+			t.Fatalf("scan step %d = %d, want %d", i, a, w)
+		}
+	}
+}
+
+func TestInconsistentWeightsAscendWithColdHalf(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 1024, 1)
+	cfg.TargetPages = 8
+	s := mustNew(t, cfg).(*inconsistentStream)
+	// Count burst lengths of the first pass: the lower half of the targets
+	// must be untouched (maximally cold) and the upper half strictly
+	// ascending up to the 90-write bursts (W1 < Wk < WN, Section 3.2).
+	counts := map[int]int{}
+	for i := 0; i < s.passLen; i++ {
+		counts[s.Next(Feedback{})]++
+	}
+	for i := 0; i < 4; i++ {
+		if counts[i] != 0 {
+			t.Fatalf("cold-half address %d written %d times, want 0", i, counts[i])
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if counts[i] >= counts[i+1] {
+			t.Fatalf("hot-half weights not ascending: %v", counts)
+		}
+	}
+	if counts[7] != 90 {
+		t.Fatalf("hottest weight = %d, want 90 (Figure 3)", counts[7])
+	}
+}
+
+func TestInconsistentReversesAfterSwap(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 1024, 1)
+	cfg.TargetPages = 4
+	cfg.QuietThreshold = 8
+	s := mustNew(t, cfg).(*inconsistentStream)
+	// Run past the minimum flip spacing, then signal one blocked response
+	// followed by quiet.
+	for i := 0; i < s.minFlipAt+1; i++ {
+		s.Next(Feedback{})
+	}
+	s.Next(Feedback{Blocked: true})
+	for i := 0; i < 8; i++ {
+		s.Next(Feedback{})
+	}
+	if s.Reversals() != 1 {
+		t.Fatalf("reversals = %d after swap-end signal, want 1", s.Reversals())
+	}
+	// The previously-frozen cold half must now take the writes.
+	counts := map[int]int{}
+	for i := 0; i < s.passLen; i++ {
+		counts[s.Next(Feedback{})]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("after reversal cold half still frozen: %v", counts)
+	}
+	if counts[3] != 0 {
+		t.Fatalf("after reversal the old hot tail still written: %v", counts)
+	}
+}
+
+func TestInconsistentNoReversalWhileBlocked(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 1024, 1)
+	cfg.TargetPages = 4
+	cfg.QuietThreshold = 8
+	s := mustNew(t, cfg).(*inconsistentStream)
+	// Continuous blocking (mid swap phase): no reversal yet, even past the
+	// minimum flip spacing.
+	for i := 0; i < s.minFlipAt+100; i++ {
+		s.Next(Feedback{Blocked: true})
+	}
+	if s.Reversals() != 0 {
+		t.Fatalf("reversed mid-swap-phase: %d", s.Reversals())
+	}
+}
+
+func TestInconsistentFallbackReversal(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 1024, 1)
+	cfg.TargetPages = 4
+	s := mustNew(t, cfg).(*inconsistentStream)
+	// Never signal a block: the fallback must still flip eventually.
+	for i := 0; i < s.fallbackAt+10; i++ {
+		s.Next(Feedback{})
+	}
+	if s.Reversals() == 0 {
+		t.Fatal("fallback reversal never fired")
+	}
+}
+
+func TestInconsistentTargetsClampedToPages(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 4, 1)
+	cfg.TargetPages = 100
+	s := mustNew(t, cfg)
+	for i := 0; i < 1000; i++ {
+		if a := s.Next(Feedback{}); a >= 4 {
+			t.Fatalf("address %d beyond the 4-page space", a)
+		}
+	}
+}
+
+func TestInconsistentAddressesInTargetRange(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 1024, 1)
+	cfg.TargetPages = 8
+	s := mustNew(t, cfg)
+	for i := 0; i < 10000; i++ {
+		a := s.Next(Feedback{Blocked: i%97 == 0})
+		if a < 0 || a >= 8 {
+			t.Fatalf("address %d outside target range [0,8)", a)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package attack
+
+import (
+	"errors"
+)
+
+// LocalScan is an extension attack beyond the paper's four modes: a scan
+// confined to a small address window that relocates periodically. Against
+// slow-rotation schemes (Start-Gap with a large gap interval) it
+// concentrates wear faster than a full scan — the window wears down before
+// the rotation can dilute it — while looking locally like a benign
+// streaming workload. TWL's per-pair reallocation and inter-pair swaps are
+// insensitive to the window size, which makes this a useful robustness
+// probe.
+type LocalScan struct {
+	pages  int
+	window int
+	dwell  int // writes before the window relocates
+
+	pos     int
+	written int
+	base    int
+}
+
+// NewLocalScan builds a localized scan over a window of `window` pages that
+// relocates every `dwell` writes (0 keeps the window fixed).
+func NewLocalScan(pages, window, dwell int) (*LocalScan, error) {
+	if pages <= 0 {
+		return nil, errors.New("attack: pages must be positive")
+	}
+	if window <= 0 || window > pages {
+		return nil, errors.New("attack: window must be in [1, pages]")
+	}
+	if dwell < 0 {
+		return nil, errors.New("attack: dwell must be >= 0")
+	}
+	return &LocalScan{pages: pages, window: window, dwell: dwell}, nil
+}
+
+// Name implements Stream.
+func (s *LocalScan) Name() string { return "localscan" }
+
+// Next implements Stream.
+func (s *LocalScan) Next(fb Feedback) int {
+	if s.dwell > 0 && s.written >= s.dwell {
+		s.written = 0
+		s.base = (s.base + s.window) % s.pages
+		s.pos = 0
+	}
+	a := s.base + s.pos
+	if a >= s.pages {
+		a -= s.pages
+	}
+	s.pos++
+	if s.pos >= s.window {
+		s.pos = 0
+	}
+	s.written++
+	return a
+}

@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"testing"
+)
+
+func TestLocalScanValidation(t *testing.T) {
+	if _, err := NewLocalScan(0, 1, 0); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+	if _, err := NewLocalScan(8, 0, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewLocalScan(8, 9, 0); err == nil {
+		t.Fatal("window > pages accepted")
+	}
+	if _, err := NewLocalScan(8, 2, -1); err == nil {
+		t.Fatal("negative dwell accepted")
+	}
+}
+
+func TestLocalScanStaysInWindow(t *testing.T) {
+	s, err := NewLocalScan(64, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a := s.Next(Feedback{})
+		if a < 0 || a >= 4 {
+			t.Fatalf("address %d outside fixed window [0,4)", a)
+		}
+	}
+}
+
+func TestLocalScanCycle(t *testing.T) {
+	s, _ := NewLocalScan(64, 3, 0)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if a := s.Next(Feedback{}); a != w {
+			t.Fatalf("step %d = %d, want %d", i, a, w)
+		}
+	}
+}
+
+func TestLocalScanRelocates(t *testing.T) {
+	s, _ := NewLocalScan(16, 4, 8)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[s.Next(Feedback{})] = true
+	}
+	// After several dwells the window must have moved beyond [0,4).
+	beyond := false
+	for a := range seen {
+		if a >= 4 {
+			beyond = true
+		}
+		if a < 0 || a >= 16 {
+			t.Fatalf("address %d out of space", a)
+		}
+	}
+	if !beyond {
+		t.Fatal("window never relocated")
+	}
+}
+
+func TestLocalScanWrapsAddressSpace(t *testing.T) {
+	s, _ := NewLocalScan(8, 4, 4)
+	for i := 0; i < 100; i++ {
+		if a := s.Next(Feedback{}); a < 0 || a >= 8 {
+			t.Fatalf("address %d out of space after wrap", a)
+		}
+	}
+}

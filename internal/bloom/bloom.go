@@ -1,0 +1,171 @@
+// Package bloom provides the Bloom-filter substrate for the bloom-filter
+// based wear-leveling baseline (Yun et al., DATE 2012 — "BWL" in the paper).
+//
+// Two structures are provided: a plain membership Bloom filter and a
+// counting Bloom filter whose per-slot counters let BWL approximate
+// per-address write counts and apply dynamic hot/cold thresholds without a
+// full write-number table.
+package bloom
+
+import (
+	"errors"
+	"math"
+)
+
+// hashPair derives k hash values from two independent mixes of the key
+// (Kirsch–Mitzenmacher double hashing), the standard hardware-friendly
+// construction.
+func hashPair(key uint64) (uint64, uint64) {
+	h1 := key
+	h1 ^= h1 >> 33
+	h1 *= 0xFF51AFD7ED558CCD
+	h1 ^= h1 >> 33
+	h2 := key
+	h2 *= 0xC2B2AE3D27D4EB4F
+	h2 ^= h2 >> 29
+	h2 *= 0x165667B19E3779F9
+	h2 ^= h2 >> 32
+	if h2 == 0 {
+		h2 = 0x9E3779B97F4A7C15
+	}
+	return h1, h2
+}
+
+// Filter is a classic Bloom filter over uint64 keys.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	items  int
+}
+
+// NewFilter builds a filter with nbits bits (rounded up to a multiple of 64)
+// and k hash functions.
+func NewFilter(nbits int, k int) (*Filter, error) {
+	if nbits <= 0 || k <= 0 {
+		return nil, errors.New("bloom: nbits and k must be positive")
+	}
+	words := (nbits + 63) / 64
+	return &Filter{
+		bits:   make([]uint64, words),
+		nbits:  uint64(words) * 64,
+		hashes: k,
+	}, nil
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := hashPair(key)
+	for i := 0; i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.items++
+}
+
+// Contains reports whether key may have been inserted (no false negatives;
+// false positives at the designed rate).
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := hashPair(key)
+	for i := 0; i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.items = 0
+}
+
+// Items returns the number of Add calls since the last Reset.
+func (f *Filter) Items() int { return f.items }
+
+// FalsePositiveRate estimates the current false-positive probability from
+// the fill level: (1 - e^(-k·n/m))^k.
+func (f *Filter) FalsePositiveRate() float64 {
+	k := float64(f.hashes)
+	n := float64(f.items)
+	m := float64(f.nbits)
+	return math.Pow(1-math.Exp(-k*n/m), k)
+}
+
+// Counting is a counting Bloom filter: each slot is a saturating counter, so
+// it can approximate per-key frequencies (the minimum across the key's
+// slots, the count-min sketch estimate).
+type Counting struct {
+	slots  []uint16
+	nslots uint64
+	hashes int
+	adds   uint64
+	maxVal uint16
+}
+
+// NewCounting builds a counting filter with nslots counters and k hashes.
+func NewCounting(nslots int, k int) (*Counting, error) {
+	if nslots <= 0 || k <= 0 {
+		return nil, errors.New("bloom: nslots and k must be positive")
+	}
+	return &Counting{
+		slots:  make([]uint16, nslots),
+		nslots: uint64(nslots),
+		hashes: k,
+		maxVal: math.MaxUint16,
+	}, nil
+}
+
+// Add increments the key's slots (saturating) and returns the new estimate.
+func (c *Counting) Add(key uint64) uint16 {
+	h1, h2 := hashPair(key)
+	est := c.maxVal
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.nslots
+		if c.slots[idx] < c.maxVal {
+			c.slots[idx]++
+		}
+		if c.slots[idx] < est {
+			est = c.slots[idx]
+		}
+	}
+	c.adds++
+	return est
+}
+
+// Estimate returns the count-min estimate for key (an upper bound on the
+// true count).
+func (c *Counting) Estimate(key uint64) uint16 {
+	h1, h2 := hashPair(key)
+	est := c.maxVal
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.nslots
+		if c.slots[idx] < est {
+			est = c.slots[idx]
+		}
+	}
+	return est
+}
+
+// Reset clears all counters.
+func (c *Counting) Reset() {
+	for i := range c.slots {
+		c.slots[i] = 0
+	}
+	c.adds = 0
+}
+
+// Adds returns the number of Add calls since the last Reset.
+func (c *Counting) Adds() uint64 { return c.adds }
+
+// Halve divides every slot by two. BWL-style schemes use periodic halving to
+// age out stale history so the hot set tracks the current phase.
+func (c *Counting) Halve() {
+	for i := range c.slots {
+		c.slots[i] >>= 1
+	}
+}

@@ -1,0 +1,177 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twl/internal/rng"
+)
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f, err := NewFilter(1<<14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		f.Add(k * 7919)
+	}
+	for k := uint64(0); k < 500; k++ {
+		if !f.Contains(k * 7919) {
+			t.Fatalf("false negative for key %d", k*7919)
+		}
+	}
+}
+
+func TestFilterFalsePositiveRateReasonable(t *testing.T) {
+	f, _ := NewFilter(1<<14, 4)
+	for k := uint64(0); k < 1000; k++ {
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 10000
+	for k := uint64(1 << 32); k < 1<<32+probes; k++ {
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	predicted := f.FalsePositiveRate()
+	if rate > 3*predicted+0.01 {
+		t.Fatalf("observed FP rate %v far above predicted %v", rate, predicted)
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f, _ := NewFilter(1024, 3)
+	f.Add(42)
+	if !f.Contains(42) {
+		t.Fatal("add/contains broken")
+	}
+	f.Reset()
+	if f.Contains(42) {
+		t.Fatal("Reset did not clear membership")
+	}
+	if f.Items() != 0 {
+		t.Fatal("Reset did not clear item count")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	if _, err := NewFilter(0, 3); err == nil {
+		t.Fatal("accepted zero bits")
+	}
+	if _, err := NewFilter(128, 0); err == nil {
+		t.Fatal("accepted zero hashes")
+	}
+}
+
+// TestFilterNoFalseNegativesProperty: for arbitrary key sets, membership of
+// every added key must hold.
+func TestFilterNoFalseNegativesProperty(t *testing.T) {
+	check := func(keys []uint64) bool {
+		f, err := NewFilter(1<<12, 4)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingEstimateUpperBound(t *testing.T) {
+	c, err := NewCounting(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint16{}
+	src := rng.NewXorshift(1)
+	for i := 0; i < 5000; i++ {
+		k := uint64(src.Intn(200))
+		c.Add(k)
+		truth[k]++
+	}
+	for k, n := range truth {
+		if est := c.Estimate(k); est < n {
+			t.Fatalf("estimate for %d = %d below true count %d", k, est, n)
+		}
+	}
+}
+
+func TestCountingEstimateAccurateWhenSparse(t *testing.T) {
+	c, _ := NewCounting(1<<14, 4)
+	for i := 0; i < 10; i++ {
+		c.Add(777)
+	}
+	if est := c.Estimate(777); est != 10 {
+		t.Fatalf("sparse estimate = %d, want exactly 10", est)
+	}
+	if est := c.Estimate(778); est != 0 {
+		t.Fatalf("estimate for absent key = %d, want 0", est)
+	}
+}
+
+func TestCountingHalve(t *testing.T) {
+	c, _ := NewCounting(1<<14, 4)
+	for i := 0; i < 9; i++ {
+		c.Add(5)
+	}
+	c.Halve()
+	if est := c.Estimate(5); est != 4 {
+		t.Fatalf("after halve, estimate = %d, want 4", est)
+	}
+}
+
+func TestCountingReset(t *testing.T) {
+	c, _ := NewCounting(256, 2)
+	c.Add(1)
+	c.Reset()
+	if c.Estimate(1) != 0 || c.Adds() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	c, _ := NewCounting(64, 1)
+	for i := 0; i < 1<<17; i++ {
+		c.Add(3)
+	}
+	if est := c.Estimate(3); est != 65535 {
+		t.Fatalf("saturated estimate = %d, want 65535", est)
+	}
+}
+
+func TestCountingValidation(t *testing.T) {
+	if _, err := NewCounting(0, 2); err == nil {
+		t.Fatal("accepted zero slots")
+	}
+	if _, err := NewCounting(16, 0); err == nil {
+		t.Fatal("accepted zero hashes")
+	}
+}
+
+func TestCountingAddReturnsEstimate(t *testing.T) {
+	c, _ := NewCounting(1<<14, 4)
+	if got := c.Add(9); got != 1 {
+		t.Fatalf("first Add estimate = %d, want 1", got)
+	}
+	if got := c.Add(9); got != 2 {
+		t.Fatalf("second Add estimate = %d, want 2", got)
+	}
+}
+
+func BenchmarkCountingAdd(b *testing.B) {
+	c, _ := NewCounting(1<<16, 4)
+	for i := 0; i < b.N; i++ {
+		c.Add(uint64(i & 0xFFFF))
+	}
+}

@@ -1,0 +1,368 @@
+// Package core implements Toss-up Wear Leveling (TWL), the paper's
+// contribution (Section 4).
+//
+// TWL abandons write-intensity prediction entirely. Physical pages are bound
+// into "toss-up pairs"; every write addressed to either page of a pair is
+// probabilistically reallocated inside the pair with probability
+// E_A/(E_A+E_B) of landing on page A (Figure 4a) — a "toss-up" — so the
+// stronger page statistically absorbs more writes no matter what the write
+// distribution looks like. Because the choice is random and
+// endurance-proportional, an attacker gains nothing from presenting an
+// inconsistent distribution: there is no prediction to mislead.
+//
+// The engine implements all three optimizations of Section 4.3 plus the
+// write flow of Figure 5:
+//
+//   - Swap judge (Figure 4c): when the toss-up picks the page the data is
+//     not currently on, the engine performs "swap-then-write" at a cost of
+//     two page writes, not three — the chosen page's old data migrates to
+//     the unchosen page, then the demand data is written to the chosen page.
+//   - Strong-Weak Pairing (SWP): pages sorted by endurance; the k-th
+//     weakest pairs with the k-th strongest, minimizing swap probability
+//     (Case 2/3 of the Section 4.2 model) and shielding weak pages.
+//   - Interval-triggered toss-up: the toss-up only runs every TossUpInterval
+//     writes to a pair, tracked in the 7-bit write-counter table (WCT),
+//     cutting the swap/write ratio proportionally (Figure 7).
+//   - Inter-pair swap: every InterPairSwapInterval writes to a logical page,
+//     its data swaps with a uniformly random logical page, spreading traffic
+//     across pairs (Section 4.1; fixed at 128 in the evaluation).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"twl/internal/pcm"
+	"twl/internal/rng"
+	"twl/internal/tables"
+	"twl/internal/wl"
+)
+
+// Pairing selects how physical pages are bound into toss-up pairs.
+type Pairing int
+
+const (
+	// StrongWeak sorts pages by endurance and pairs rank k with rank
+	// N+1−k — the paper's SWP optimization ("TWL_swp").
+	StrongWeak Pairing = iota
+	// Adjacent pairs physically adjacent pages (2i, 2i+1) — the naive
+	// baseline the paper labels "TWL_ap".
+	Adjacent
+	// Random pairs pages by a uniformly random perfect matching — an
+	// ablation point between the two.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Pairing) String() string {
+	switch p {
+	case StrongWeak:
+		return "swp"
+	case Adjacent:
+		return "ap"
+	case Random:
+		return "rand"
+	default:
+		return fmt.Sprintf("Pairing(%d)", int(p))
+	}
+}
+
+// Config parameterizes the TWL engine.
+type Config struct {
+	// Pairing is the pair-formation policy (paper default: StrongWeak).
+	Pairing Pairing
+	// TossUpInterval triggers the toss-up every this many writes to a pair.
+	// Must be in [1, tables.MaxInterval]; the paper picks 32 (Figure 7).
+	TossUpInterval int
+	// InterPairSwapInterval swaps a page with a random page every this many
+	// writes to it; 0 disables. The evaluation fixes 128 (Table 1).
+	InterPairSwapInterval int
+	// Seed drives the RNGs.
+	Seed uint64
+	// UseFeistel selects the hardware-faithful 8-bit Feistel RNG for toss-up
+	// decisions (default true); false uses xorshift (ablation).
+	UseFeistel bool
+	// ETNoiseSigma models endurance-measurement error: the ET the engine
+	// consults (for pairing and toss-up ratios) is the true endurance
+	// perturbed by Gaussian noise with this relative sigma. 0 means the
+	// manufacturer-tested values are exact (the paper's assumption). The
+	// ablation bench uses this to show how gracefully TWL degrades when the
+	// ET is wrong.
+	ETNoiseSigma float64
+}
+
+// DefaultConfig returns the evaluation configuration of Table 1/Section 5.2:
+// strong-weak pairing, toss-up interval 32, inter-pair swap interval 128.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Pairing:               StrongWeak,
+		TossUpInterval:        32,
+		InterPairSwapInterval: 128,
+		Seed:                  seed,
+		UseFeistel:            true,
+	}
+}
+
+// alphaSource is the RNG interface the toss-up needs.
+type alphaSource interface {
+	Alpha() float64
+	Intn(n int) int
+}
+
+// xorshiftAlpha adapts Xorshift to the alphaSource interface.
+type xorshiftAlpha struct{ *rng.Xorshift }
+
+func (x xorshiftAlpha) Alpha() float64 { return x.Float64() }
+
+// Engine is the TWL wear-leveling engine (Figure 5).
+type Engine struct {
+	dev *pcm.Device
+	cfg Config
+
+	rt   *tables.Remap     // RT: LA → PA
+	swpt *tables.PairTable // SWPT over *physical* pages (pairs are an
+	// endurance property, so they are static; the logical partner of an LA
+	// is derived through RT, which is what the hardware SWPT caches)
+	et       []uint64        // ET as the engine sees it (true or noisy)
+	wct      *tables.Counter // per-pair toss-up countdown (7-bit)
+	pairIdx  []int           // physical page → pair representative (min member)
+	ipsCount []uint32        // per-LA writes since last inter-pair swap
+	src      alphaSource
+	stats    wl.Stats
+}
+
+var _ wl.Scheme = (*Engine)(nil)
+var _ wl.Checker = (*Engine)(nil)
+
+// New builds a TWL engine over dev.
+func New(dev *pcm.Device, cfg Config) (*Engine, error) {
+	if dev.Pages()%2 != 0 {
+		return nil, errors.New("core: TWL needs an even page count to form pairs")
+	}
+	if cfg.TossUpInterval < 1 || cfg.TossUpInterval > tables.MaxInterval {
+		return nil, fmt.Errorf("core: TossUpInterval %d outside [1,%d]",
+			cfg.TossUpInterval, tables.MaxInterval)
+	}
+	if cfg.InterPairSwapInterval < 0 {
+		return nil, errors.New("core: InterPairSwapInterval must be >= 0")
+	}
+	if cfg.ETNoiseSigma < 0 {
+		return nil, errors.New("core: ETNoiseSigma must be >= 0")
+	}
+	e := &Engine{
+		dev:      dev,
+		cfg:      cfg,
+		rt:       tables.NewRemap(dev.Pages()),
+		et:       buildET(dev, cfg),
+		wct:      tables.NewCounter(dev.Pages()),
+		pairIdx:  make([]int, dev.Pages()),
+		ipsCount: make([]uint32, dev.Pages()),
+	}
+	if cfg.UseFeistel {
+		e.src = rng.NewFeistel(cfg.Seed)
+	} else {
+		e.src = xorshiftAlpha{rng.NewXorshift(cfg.Seed)}
+	}
+	var err error
+	e.swpt, err = buildPairs(e.et, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for pa := 0; pa < dev.Pages(); pa++ {
+		rep := pa
+		if q := e.swpt.Partner(pa); q < rep {
+			rep = q
+		}
+		e.pairIdx[pa] = rep
+	}
+	return e, nil
+}
+
+// buildET returns the endurance table the engine consults: the device's
+// true map, optionally perturbed by measurement noise.
+func buildET(dev *pcm.Device, cfg Config) []uint64 {
+	et := make([]uint64, dev.Pages())
+	copy(et, dev.EnduranceMap())
+	if cfg.ETNoiseSigma > 0 {
+		g := rng.NewGaussian(rng.NewXorshift(cfg.Seed ^ 0xE7E7E7E7))
+		for i, e := range et {
+			v := g.Sample(float64(e), cfg.ETNoiseSigma*float64(e))
+			if v < 1 {
+				v = 1
+			}
+			et[i] = uint64(v)
+		}
+	}
+	return et
+}
+
+// buildPairs forms the toss-up pairs under the configured policy, using the
+// engine's (possibly noisy) endurance table.
+func buildPairs(et []uint64, cfg Config) (*tables.PairTable, error) {
+	n := len(et)
+	pt, err := tables.NewPairTable(n)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Pairing {
+	case StrongWeak:
+		order := wl.SortByEndurance(et)
+		for k := 0; k < n/2; k++ {
+			if err := pt.Bind(order[k], order[n-1-k]); err != nil {
+				return nil, err
+			}
+		}
+	case Adjacent:
+		for p := 0; p < n; p += 2 {
+			if err := pt.Bind(p, p+1); err != nil {
+				return nil, err
+			}
+		}
+	case Random:
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		src := rng.NewXorshift(cfg.Seed ^ 0xA5A5A5A5)
+		for i := n - 1; i > 0; i-- {
+			j := src.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for k := 0; k < n; k += 2 {
+			if err := pt.Bind(perm[k], perm[k+1]); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown pairing policy %v", cfg.Pairing)
+	}
+	return pt, nil
+}
+
+// Name implements wl.Scheme.
+func (e *Engine) Name() string { return "TWL_" + e.cfg.Pairing.String() }
+
+// Write implements wl.Scheme, following the Figure 5 write flow:
+// SWPT → RT → ET → TWL engine, with the WCT gating the toss-up.
+func (e *Engine) Write(la int, tag uint64) wl.Cost {
+	// SWPT + RT lookups happen on every write.
+	cost := wl.Cost{ExtraCycles: wl.ControlCycles + 2*wl.TableCycles}
+	e.stats.DemandWrites++
+
+	// Inter-pair swap: every InterPairSwapInterval writes to this logical
+	// page, exchange it with a random logical page before serving the write.
+	if e.cfg.InterPairSwapInterval > 0 {
+		e.ipsCount[la]++
+		if e.ipsCount[la] >= uint32(e.cfg.InterPairSwapInterval) {
+			e.ipsCount[la] = 0
+			cost.Add(e.interPairSwap(la, tag))
+			return cost
+		}
+	}
+
+	pa := e.rt.Phys(la)
+	pp := e.swpt.Partner(pa)
+
+	// WCT countdown: the toss-up only runs at the interval. A wrap to zero
+	// is the 128th increment (see tables.Counter), which covers the
+	// interval == tables.MaxInterval case in 7 bits.
+	if v := e.wct.Inc(e.pairIdx[pa]); v != 0 && int(v) < e.cfg.TossUpInterval {
+		e.dev.Write(pa, tag)
+		cost.DeviceWrites++
+		return cost
+	}
+	e.wct.Clear(e.pairIdx[pa])
+
+	// Toss-up (Figure 4b): ET lookups for both endurances, RNG draw,
+	// compare α against E_A/(E_A+E_B).
+	cost.ExtraCycles += 2*wl.TableCycles + wl.RNGCycles
+	e.stats.TossUps++
+	ea := float64(e.et[pa])
+	ep := float64(e.et[pp])
+	chosen := pa
+	if e.src.Alpha() >= ea/(ea+ep) {
+		chosen = pp
+	}
+
+	// Swap judge (Figure 4c).
+	if chosen == pa {
+		e.dev.Write(pa, tag)
+		cost.DeviceWrites++
+		return cost
+	}
+	// Swap-then-write, two writes total: migrate the chosen page's current
+	// data onto the unchosen page, then write the demand data to the chosen
+	// page; RT swaps the two logical owners.
+	partnerLA := e.rt.Log(pp)
+	e.dev.Write(pa, e.dev.Peek(pp)) // migration write
+	e.dev.Write(pp, tag)            // demand write at its new home
+	e.rt.SwapLogical(la, partnerLA)
+	e.stats.Swaps++
+	e.stats.SwapWrites++ // one write beyond the demand write
+	cost.DeviceWrites += 2
+	cost.DeviceReads++
+	cost.ExtraCycles += wl.TableCycles // RT update
+	cost.Blocked = true
+	return cost
+}
+
+// interPairSwap exchanges la's physical page with that of a uniformly
+// random logical page and serves the demand write at the new location.
+// Like swap-then-write it costs two page writes: the displaced data migrates
+// to la's old page, and la's new data is written to its new page.
+func (e *Engine) interPairSwap(la int, tag uint64) wl.Cost {
+	cost := wl.Cost{ExtraCycles: wl.ControlCycles + wl.RNGCycles + wl.TableCycles}
+	other := e.src.Intn(e.dev.Pages())
+	if other == la {
+		other = (other + 1) % e.dev.Pages()
+	}
+	paLA := e.rt.Phys(la)
+	paOther := e.rt.Phys(other)
+	e.dev.Write(paLA, e.dev.Peek(paOther)) // displaced data moves here
+	e.dev.Write(paOther, tag)              // demand write at la's new home
+	e.rt.SwapLogical(la, other)
+	e.stats.Swaps++
+	e.stats.SwapWrites++
+	cost.DeviceWrites += 2
+	cost.DeviceReads++
+	cost.Blocked = true
+	return cost
+}
+
+// Read implements wl.Scheme (Figure 5a): RT lookup then array read.
+func (e *Engine) Read(la int) (uint64, wl.Cost) {
+	e.stats.DemandReads++
+	return e.dev.Read(e.rt.Phys(la)), wl.Cost{DeviceReads: 1, ExtraCycles: wl.TableCycles}
+}
+
+// Stats implements wl.Scheme.
+func (e *Engine) Stats() wl.Stats { return e.stats }
+
+// Device implements wl.Scheme.
+func (e *Engine) Device() *pcm.Device { return e.dev }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// PartnerOf returns the current logical partner of la (the LApair of
+// Figure 5): the logical page mapped to the physical partner of la's page.
+func (e *Engine) PartnerOf(la int) int {
+	return e.rt.Log(e.swpt.Partner(e.rt.Phys(la)))
+}
+
+// CheckInvariants implements wl.Checker: RT bijection, SWPT involution, and
+// wear conservation (device writes = demand + swap writes).
+func (e *Engine) CheckInvariants() error {
+	if err := e.rt.CheckBijection(); err != nil {
+		return err
+	}
+	if err := e.swpt.Check(); err != nil {
+		return err
+	}
+	want := e.stats.DemandWrites + e.stats.SwapWrites
+	if got := e.dev.TotalWrites(); got != want {
+		return fmt.Errorf("core: device writes %d != demand %d + swap %d",
+			got, e.stats.DemandWrites, e.stats.SwapWrites)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package detect implements online detection of malicious write streams,
+// following the direction of the paper's reference [11] (Qureshi et al.,
+// HPCA 2011: "Practical and secure PCM systems by online detection of
+// malicious write streams") and extending it with a signal specific to this
+// paper's inconsistent-write attack.
+//
+// The detector watches only the logical write stream — the same information
+// a memory controller has — and computes two window-based statistics:
+//
+//   - Concentration: the estimated share of the window's writes taken by
+//     its hottest address. Repeat-style attacks push this toward 1; benign
+//     workloads sit near their Zipf head share.
+//   - Reversal: the sign of the correlation between per-address write
+//     counts in consecutive windows. Benign workloads are temporally
+//     consistent (positive correlation — the very assumption PV-aware wear
+//     leveling rests on); the inconsistent attack *inverts* the
+//     distribution, driving the correlation negative.
+//
+// Wear-leveling schemes can consult the detector to fall back to a
+// conservative policy (e.g. pure randomization) while an alarm is active —
+// the "online detection" defense the paper contrasts its design against.
+package detect
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// WindowWrites is the observation window length.
+	WindowWrites int
+	// TrackTop is how many candidate hot addresses are tracked per window
+	// (a space-saving stand-in for the full count table; hardware would use
+	// a small CAM or sketch).
+	TrackTop int
+	// ConcentrationAlarm is the hottest-address share above which the
+	// window is flagged (repeat-style attacks).
+	ConcentrationAlarm float64
+	// ReversalAlarm is the (negative) correlation below which consecutive
+	// windows are flagged (inconsistent-write attacks).
+	ReversalAlarm float64
+	// AlarmWindows is how many flagged windows (out of the last
+	// 2×AlarmWindows) raise the alarm.
+	AlarmWindows int
+}
+
+// DefaultConfig returns thresholds that separate the Table 2 workloads from
+// the Section 5.2 attacks by a wide margin.
+func DefaultConfig(pages int) Config {
+	w := 8 * pages
+	if w < 4096 {
+		w = 4096
+	}
+	return Config{
+		WindowWrites:       w,
+		TrackTop:           64,
+		ConcentrationAlarm: 0.30,
+		ReversalAlarm:      -0.20,
+		AlarmWindows:       2,
+	}
+}
+
+// Detector is the online write-stream monitor.
+type Detector struct {
+	cfg Config
+
+	cur      map[int]int // per-address counts, current window
+	inWindow int
+
+	prev map[int]int // previous window's counts
+
+	flags       []bool // ring of recent window flags
+	flagIdx     int
+	windows     int
+	lastConc    float64
+	lastCorr    float64
+	lastHottest int
+	haveHottest bool
+	alarmEvents int
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.WindowWrites <= 0 {
+		return nil, errors.New("detect: WindowWrites must be positive")
+	}
+	if cfg.TrackTop <= 0 {
+		return nil, errors.New("detect: TrackTop must be positive")
+	}
+	if cfg.ConcentrationAlarm <= 0 || cfg.ConcentrationAlarm > 1 {
+		return nil, errors.New("detect: ConcentrationAlarm must be in (0,1]")
+	}
+	if cfg.ReversalAlarm >= 0 || cfg.ReversalAlarm < -1 {
+		return nil, errors.New("detect: ReversalAlarm must be in [-1,0)")
+	}
+	if cfg.AlarmWindows <= 0 {
+		return nil, errors.New("detect: AlarmWindows must be positive")
+	}
+	return &Detector{
+		cfg:   cfg,
+		cur:   make(map[int]int),
+		flags: make([]bool, 2*cfg.AlarmWindows),
+	}, nil
+}
+
+// Observe feeds one demand write into the detector.
+func (d *Detector) Observe(la int) {
+	d.cur[la]++
+	d.inWindow++
+	if d.inWindow >= d.cfg.WindowWrites {
+		d.closeWindow()
+	}
+}
+
+// closeWindow computes the window statistics and rotates state.
+func (d *Detector) closeWindow() {
+	d.windows++
+	d.lastConc = d.concentration()
+	d.lastCorr = d.correlation()
+	flagged := d.lastConc >= d.cfg.ConcentrationAlarm ||
+		(d.windows > 1 && d.lastCorr <= d.cfg.ReversalAlarm)
+	d.flags[d.flagIdx] = flagged
+	d.flagIdx = (d.flagIdx + 1) % len(d.flags)
+	if d.Alarm() {
+		d.alarmEvents++
+	}
+
+	d.prev = d.cur
+	d.cur = make(map[int]int, len(d.prev))
+	d.inWindow = 0
+}
+
+// concentration returns the hottest address's share of the window and
+// records which address it was.
+func (d *Detector) concentration() float64 {
+	total, max := 0, 0
+	for la, c := range d.cur {
+		total += c
+		if c > max {
+			max = c
+			d.lastHottest = la
+			d.haveHottest = true
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
+}
+
+// correlation returns the Pearson correlation between the counts of the
+// union of the two windows' top-TrackTop addresses. A full per-address
+// correlation would need unbounded state; the top set captures where the
+// wear actually goes.
+func (d *Detector) correlation() float64 {
+	if d.prev == nil {
+		return 1
+	}
+	set := topUnion(d.prev, d.cur, d.cfg.TrackTop)
+	if len(set) < 2 {
+		return 1
+	}
+	var xs, ys []float64
+	for _, la := range set {
+		xs = append(xs, float64(d.prev[la]))
+		ys = append(ys, float64(d.cur[la]))
+	}
+	return pearson(xs, ys)
+}
+
+// topUnion returns the union of the top-k addresses of both windows.
+func topUnion(a, b map[int]int, k int) []int {
+	seen := map[int]bool{}
+	for _, m := range []map[int]int{a, b} {
+		keys := make([]int, 0, len(m))
+		for la := range m {
+			keys = append(keys, la)
+		}
+		sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+		for i := 0; i < len(keys) && i < k; i++ {
+			seen[keys[i]] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for la := range seen {
+		out = append(out, la)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pearson computes the Pearson correlation coefficient; constant series
+// return 0.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// HottestAddress returns the hottest address of the last closed window.
+// ok is false until a window has closed.
+func (d *Detector) HottestAddress() (la int, ok bool) {
+	return d.lastHottest, d.haveHottest
+}
+
+// EverAlarmed reports whether the alarm has fired at any point — the
+// latched signal a controller would act on (falling back to conservative
+// leveling until an operator intervenes).
+func (d *Detector) EverAlarmed() bool { return d.alarmEvents > 0 }
+
+// Alarm reports whether at least AlarmWindows of the last 2×AlarmWindows
+// windows were flagged.
+func (d *Detector) Alarm() bool {
+	n := 0
+	for _, f := range d.flags {
+		if f {
+			n++
+		}
+	}
+	return n >= d.cfg.AlarmWindows
+}
+
+// Stats exposes the last window's statistics for logging and tests.
+type Stats struct {
+	Windows       int
+	Concentration float64
+	Correlation   float64
+	Alarm         bool
+	AlarmEvents   int
+}
+
+// Stats returns the current detector state.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Windows:       d.windows,
+		Concentration: d.lastConc,
+		Correlation:   d.lastCorr,
+		Alarm:         d.Alarm(),
+		AlarmEvents:   d.alarmEvents,
+	}
+}

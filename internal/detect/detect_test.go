@@ -1,0 +1,141 @@
+package detect
+
+import (
+	"testing"
+
+	"twl/internal/attack"
+	"twl/internal/trace"
+)
+
+const pages = 512
+
+func newDet(t *testing.T) *Detector {
+	t.Helper()
+	d, err := New(DefaultConfig(pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{WindowWrites: 0, TrackTop: 8, ConcentrationAlarm: 0.3, ReversalAlarm: -0.2, AlarmWindows: 2},
+		{WindowWrites: 10, TrackTop: 0, ConcentrationAlarm: 0.3, ReversalAlarm: -0.2, AlarmWindows: 2},
+		{WindowWrites: 10, TrackTop: 8, ConcentrationAlarm: 0, ReversalAlarm: -0.2, AlarmWindows: 2},
+		{WindowWrites: 10, TrackTop: 8, ConcentrationAlarm: 1.5, ReversalAlarm: -0.2, AlarmWindows: 2},
+		{WindowWrites: 10, TrackTop: 8, ConcentrationAlarm: 0.3, ReversalAlarm: 0.2, AlarmWindows: 2},
+		{WindowWrites: 10, TrackTop: 8, ConcentrationAlarm: 0.3, ReversalAlarm: -0.2, AlarmWindows: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// feedAttack drives n writes of the given attack mode into the detector.
+func feedAttack(t *testing.T, d *Detector, mode attack.Mode, n int) {
+	t.Helper()
+	st, err := attack.New(attack.DefaultConfig(mode, pages, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := attack.Feedback{}
+	for i := 0; i < n; i++ {
+		d.Observe(st.Next(fb))
+		// Mimic the blocked-response signal occasionally so the
+		// inconsistent attacker actually reverses.
+		fb = attack.Feedback{Blocked: i%5000 == 4999}
+	}
+}
+
+func TestDetectsRepeatAttack(t *testing.T) {
+	d := newDet(t)
+	feedAttack(t, d, attack.Repeat, 10*d.cfg.WindowWrites)
+	if !d.Alarm() {
+		t.Fatalf("repeat attack not detected: %+v", d.Stats())
+	}
+	if d.Stats().Concentration < 0.9 {
+		t.Fatalf("repeat concentration %v, want ~1", d.Stats().Concentration)
+	}
+}
+
+func TestDetectsInconsistentAttack(t *testing.T) {
+	d := newDet(t)
+	feedAttack(t, d, attack.Inconsistent, 60*d.cfg.WindowWrites)
+	// The reversal signature appears at each distribution flip; between
+	// flips the stream is self-consistent, so the *latched* alarm is the
+	// actionable signal.
+	if !d.EverAlarmed() {
+		t.Fatalf("inconsistent attack never detected: %+v", d.Stats())
+	}
+	if d.Stats().AlarmEvents < 3 {
+		t.Fatalf("only %d alarm events over 60 windows", d.Stats().AlarmEvents)
+	}
+}
+
+func TestBenignWorkloadsStayQuiet(t *testing.T) {
+	for _, bn := range []string{"canneal", "vips", "streamcluster"} {
+		b, err := trace.BenchmarkByName(bn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := trace.NewSynthetic(b, pages, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := newDet(t)
+		writes := 0
+		for writes < 30*d.cfg.WindowWrites {
+			addr, w := g.Next()
+			if !w {
+				continue
+			}
+			d.Observe(addr)
+			writes++
+		}
+		if d.EverAlarmed() {
+			t.Fatalf("%s: false alarm: %+v", bn, d.Stats())
+		}
+		if st := d.Stats(); st.Correlation < 0.3 {
+			t.Errorf("%s: benign correlation %v, want clearly positive", bn, st.Correlation)
+		}
+	}
+}
+
+func TestScanAttackLooksUniform(t *testing.T) {
+	// Scan is indistinguishable from a uniform benign stream by these
+	// statistics — the detector must NOT alarm (this is exactly why
+	// detection alone is not a sufficient defense, motivating TWL).
+	d := newDet(t)
+	feedAttack(t, d, attack.Scan, 20*d.cfg.WindowWrites)
+	if d.EverAlarmed() {
+		t.Fatalf("scan attack raised an alarm; it should look uniform: %+v", d.Stats())
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); got < 0.999 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	if got := pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); got > -0.999 {
+		t.Fatalf("perfect anti-correlation = %v", got)
+	}
+	if got := pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("constant series correlation = %v, want 0", got)
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	d := newDet(t)
+	if d.Stats().Windows != 0 {
+		t.Fatal("fresh detector has windows")
+	}
+	for i := 0; i < d.cfg.WindowWrites; i++ {
+		d.Observe(i % pages)
+	}
+	if d.Stats().Windows != 1 {
+		t.Fatalf("windows = %d after one full window", d.Stats().Windows)
+	}
+}

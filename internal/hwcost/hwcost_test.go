@@ -1,0 +1,89 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStorageMatchesSection54: the paper's breakdown is a 7-bit WCT entry,
+// 27-bit ET entry, 23-bit RT entry and 23-bit SWPT entry — 80 bits per 4 KB
+// page, a 2.5e-3 storage ratio.
+func TestStorageMatchesSection54(t *testing.T) {
+	s, err := Storage(DefaultStorageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WCTBits != 7 {
+		t.Errorf("WCT = %d bits, want 7", s.WCTBits)
+	}
+	if s.ETBits != 27 {
+		t.Errorf("ET = %d bits, want 27", s.ETBits)
+	}
+	if s.RTBits != 23 {
+		t.Errorf("RT = %d bits, want 23 (32GB/4KB = 2^23 pages)", s.RTBits)
+	}
+	if s.SWPTBits != 23 {
+		t.Errorf("SWPT = %d bits, want 23", s.SWPTBits)
+	}
+	if s.TotalBits() != 80 {
+		t.Errorf("total = %d bits/page, want 80", s.TotalBits())
+	}
+	ratio := s.Ratio(4096)
+	if math.Abs(ratio-2.44140625e-3) > 1e-9 {
+		t.Errorf("ratio = %v, want 80/32768 ≈ 2.5e-3", ratio)
+	}
+}
+
+func TestStorageValidation(t *testing.T) {
+	bad := []StorageConfig{
+		{Pages: 0, PageSize: 4096, EnduranceBits: 27, CounterBits: 7},
+		{Pages: 10, PageSize: 0, EnduranceBits: 27, CounterBits: 7},
+		{Pages: 10, PageSize: 4096, EnduranceBits: 0, CounterBits: 7},
+		{Pages: 10, PageSize: 4096, EnduranceBits: 27, CounterBits: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Storage(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAddressBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1 << 23, 23}, {1<<23 + 1, 24},
+	}
+	for _, c := range cases {
+		if got := AddressBits(c.n); got != c.want {
+			t.Errorf("AddressBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestLogicMatchesSection54: 128-gate RNG, 718-gate arithmetic, 840 total.
+func TestLogicMatchesSection54(t *testing.T) {
+	l := Logic()
+	if l.RNGGates != 128 {
+		t.Errorf("RNG gates = %d, want <=128 budget", l.RNGGates)
+	}
+	if l.ArithmeticGates != 718 {
+		t.Errorf("arithmetic gates = %d, want 718", l.ArithmeticGates)
+	}
+	if l.TotalGates != 840 {
+		t.Errorf("total gates = %d, want 840", l.TotalGates)
+	}
+}
+
+func TestScaledSystemStorage(t *testing.T) {
+	// A 1 GB system: 2^18 pages → 18-bit RT/SWPT entries.
+	cfg := StorageConfig{Pages: 1 << 18, PageSize: 4096, EnduranceBits: 27, CounterBits: 7}
+	s, err := Storage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RTBits != 18 || s.SWPTBits != 18 {
+		t.Fatalf("RT/SWPT = %d/%d bits, want 18/18", s.RTBits, s.SWPTBits)
+	}
+	if s.TotalBits() != 70 {
+		t.Fatalf("total = %d, want 70", s.TotalBits())
+	}
+}

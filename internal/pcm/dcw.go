@@ -1,0 +1,174 @@
+package pcm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file models the intra-page machinery the paper assumes away at the
+// wear-leveling layer: pages are made of lines (Table 1: 4 KB pages, 128 B
+// lines), and the controller uses data-comparison write (DCW, Zhou et al.
+// ISCA 2009 — the paper's reference [16]) so a page write only programs the
+// lines whose content actually changed. Wear-leveling operates at page
+// granularity on the worst line's wear; LineArray lets tests and ablations
+// verify that the page-granularity Device is a conservative (upper-bound)
+// wear model and quantify how much write traffic DCW removes.
+
+// DiffLines compares the old and new contents of a page and reports which
+// lines differ — the lines DCW actually programs. Both slices must be
+// pageSize bytes; lineSize must divide pageSize.
+func DiffLines(old, new []byte, lineSize int) ([]bool, error) {
+	if len(old) != len(new) {
+		return nil, fmt.Errorf("pcm: page size mismatch %d vs %d", len(old), len(new))
+	}
+	if lineSize <= 0 || len(old)%lineSize != 0 {
+		return nil, fmt.Errorf("pcm: line size %d does not divide page size %d", lineSize, len(old))
+	}
+	lines := len(old) / lineSize
+	dirty := make([]bool, lines)
+	for l := 0; l < lines; l++ {
+		a := old[l*lineSize : (l+1)*lineSize]
+		b := new[l*lineSize : (l+1)*lineSize]
+		for i := range a {
+			if a[i] != b[i] {
+				dirty[l] = true
+				break
+			}
+		}
+	}
+	return dirty, nil
+}
+
+// LineArray tracks wear per line within each page. The page-granularity
+// Device charges every page write against the whole page; LineArray charges
+// only the dirty lines, and a page fails when its *worst* line reaches the
+// line endurance — the failure model endurance testing at page granularity
+// (Section 5.1) abstracts.
+type LineArray struct {
+	geom      Geometry
+	endurance []uint64 // per-page line endurance (a page's weakest cell bank)
+	wear      []uint32 // pages × linesPerPage, row-major
+	lines     int
+
+	lineWrites  uint64 // lines actually programmed
+	lineSkipped uint64 // lines a full-page write would have programmed but DCW skipped
+	failedPage  int
+}
+
+// NewLineArray builds a line-wear tracker matching geom, with per-page line
+// endurance (len must equal geom.Pages; every line of a page shares its
+// page's tested endurance).
+func NewLineArray(geom Geometry, endurance []uint64) (*LineArray, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if len(endurance) != geom.Pages {
+		return nil, fmt.Errorf("pcm: endurance map has %d entries, want %d", len(endurance), geom.Pages)
+	}
+	for i, e := range endurance {
+		if e == 0 {
+			return nil, fmt.Errorf("pcm: page %d has zero endurance", i)
+		}
+	}
+	end := make([]uint64, len(endurance))
+	copy(end, endurance)
+	return &LineArray{
+		geom:       geom,
+		endurance:  end,
+		wear:       make([]uint32, geom.Pages*geom.LinesPerPage()),
+		lines:      geom.LinesPerPage(),
+		failedPage: -1,
+	}, nil
+}
+
+// WriteDirty applies a DCW page write: only the dirty lines are programmed.
+// It returns the number of lines programmed and whether the page just
+// failed (some line reached the endurance).
+func (a *LineArray) WriteDirty(page int, dirty []bool) (programmed int, failed bool, err error) {
+	if page < 0 || page >= a.geom.Pages {
+		return 0, false, fmt.Errorf("pcm: page %d out of range", page)
+	}
+	if len(dirty) != a.lines {
+		return 0, false, fmt.Errorf("pcm: dirty mask has %d lines, want %d", len(dirty), a.lines)
+	}
+	base := page * a.lines
+	for l, d := range dirty {
+		if !d {
+			a.lineSkipped++
+			continue
+		}
+		a.wear[base+l]++
+		a.lineWrites++
+		programmed++
+		if uint64(a.wear[base+l]) >= a.endurance[page] {
+			failed = true
+			if a.failedPage < 0 {
+				a.failedPage = page
+			}
+		}
+	}
+	return programmed, failed, nil
+}
+
+// WriteFull applies a non-DCW page write: every line is programmed.
+func (a *LineArray) WriteFull(page int) (failed bool, err error) {
+	dirty := make([]bool, a.lines)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	_, failed, err = a.WriteDirty(page, dirty)
+	return failed, err
+}
+
+// MaxLineWear returns the worst line wear of a page — the value the
+// page-granularity model tracks as "page wear".
+func (a *LineArray) MaxLineWear(page int) uint32 {
+	base := page * a.lines
+	var max uint32
+	for l := 0; l < a.lines; l++ {
+		if a.wear[base+l] > max {
+			max = a.wear[base+l]
+		}
+	}
+	return max
+}
+
+// Failed reports the first failed page, if any.
+func (a *LineArray) Failed() (int, bool) { return a.failedPage, a.failedPage >= 0 }
+
+// LineWrites returns how many lines were programmed in total.
+func (a *LineArray) LineWrites() uint64 { return a.lineWrites }
+
+// DCWSavings returns the fraction of line programs DCW eliminated relative
+// to full-page writes.
+func (a *LineArray) DCWSavings() float64 {
+	total := a.lineWrites + a.lineSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(a.lineSkipped) / float64(total)
+}
+
+// WriteEnergy models per-operation programming energy, for the energy
+// side of the DCW argument (reference [16] trades write energy as well as
+// wear). Values are per line in picojoules; defaults follow the common
+// 2 pJ/bit SET, 1 pJ/bit RESET ballpark at 128 B lines.
+type WriteEnergy struct {
+	SetPJPerLine   float64
+	ResetPJPerLine float64
+}
+
+// DefaultWriteEnergy returns the default energy model.
+func DefaultWriteEnergy() WriteEnergy {
+	return WriteEnergy{SetPJPerLine: 2048, ResetPJPerLine: 1024}
+}
+
+// PageWritePJ estimates the energy of programming n lines, assuming half
+// the programmed bits SET and half RESET.
+func (w WriteEnergy) PageWritePJ(linesProgrammed int) float64 {
+	return float64(linesProgrammed) * (w.SetPJPerLine + w.ResetPJPerLine) / 2
+}
+
+// ErrLineGeometry reports mask/geometry mismatches (exported for errors.Is
+// checks in callers that construct masks dynamically).
+var ErrLineGeometry = errors.New("pcm: line mask does not match geometry")

@@ -1,0 +1,172 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twl/internal/rng"
+)
+
+func lineGeom(pages int) Geometry {
+	return Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+}
+
+func TestDiffLines(t *testing.T) {
+	old := make([]byte, 512)
+	new_ := make([]byte, 512)
+	copy(new_, old)
+	new_[0] = 1   // line 0
+	new_[300] = 7 // line 2 (128-byte lines)
+	dirty, err := DiffLines(old, new_, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v", dirty, want)
+		}
+	}
+}
+
+func TestDiffLinesErrors(t *testing.T) {
+	if _, err := DiffLines(make([]byte, 10), make([]byte, 12), 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := DiffLines(make([]byte, 10), make([]byte, 10), 3); err == nil {
+		t.Fatal("non-dividing line size accepted")
+	}
+	if _, err := DiffLines(make([]byte, 10), make([]byte, 10), 0); err == nil {
+		t.Fatal("zero line size accepted")
+	}
+}
+
+func TestDiffLinesIdentical(t *testing.T) {
+	buf := []byte{1, 2, 3, 4}
+	dirty, err := DiffLines(buf, buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirty {
+		if d {
+			t.Fatal("identical pages reported dirty lines")
+		}
+	}
+}
+
+func TestLineArrayValidation(t *testing.T) {
+	if _, err := NewLineArray(lineGeom(2), []uint64{5}); err == nil {
+		t.Fatal("short endurance map accepted")
+	}
+	if _, err := NewLineArray(lineGeom(2), []uint64{5, 0}); err == nil {
+		t.Fatal("zero endurance accepted")
+	}
+}
+
+func TestLineArrayWearAndFailure(t *testing.T) {
+	a, err := NewLineArray(lineGeom(2), []uint64{3, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := make([]bool, 32)
+	dirty[5] = true
+	for i := 0; i < 2; i++ {
+		n, failed, err := a.WriteDirty(0, dirty)
+		if err != nil || n != 1 || failed {
+			t.Fatalf("write %d: n=%d failed=%v err=%v", i, n, failed, err)
+		}
+	}
+	_, failed, err := a.WriteDirty(0, dirty)
+	if err != nil || !failed {
+		t.Fatalf("third write to line: failed=%v err=%v", failed, err)
+	}
+	if page, ok := a.Failed(); !ok || page != 0 {
+		t.Fatalf("Failed() = %d,%v", page, ok)
+	}
+	if a.MaxLineWear(0) != 3 || a.MaxLineWear(1) != 0 {
+		t.Fatalf("max wear %d/%d", a.MaxLineWear(0), a.MaxLineWear(1))
+	}
+}
+
+func TestLineArrayBoundsChecks(t *testing.T) {
+	a, _ := NewLineArray(lineGeom(2), []uint64{5, 5})
+	if _, _, err := a.WriteDirty(2, make([]bool, 32)); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+	if _, _, err := a.WriteDirty(0, make([]bool, 3)); err == nil {
+		t.Fatal("short mask accepted")
+	}
+}
+
+func TestWriteFullProgramsAllLines(t *testing.T) {
+	a, _ := NewLineArray(lineGeom(1), []uint64{10})
+	if _, err := a.WriteFull(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.LineWrites() != 32 {
+		t.Fatalf("LineWrites = %d, want 32", a.LineWrites())
+	}
+}
+
+func TestDCWSavings(t *testing.T) {
+	a, _ := NewLineArray(lineGeom(1), []uint64{1000})
+	dirty := make([]bool, 32)
+	dirty[0] = true // 1 of 32 lines dirty
+	for i := 0; i < 10; i++ {
+		a.WriteDirty(0, dirty)
+	}
+	if got := a.DCWSavings(); got != 31.0/32 {
+		t.Fatalf("savings = %v, want 31/32", got)
+	}
+}
+
+// TestPageModelIsConservative: for any write sequence, the page-granularity
+// wear (count of page writes) upper-bounds the worst line wear under DCW —
+// the property that justifies simulating wear leveling at page granularity.
+func TestPageModelIsConservative(t *testing.T) {
+	check := func(seed uint64, nOps uint16) bool {
+		src := rng.NewXorshift(seed)
+		const pages = 8
+		a, err := NewLineArray(lineGeom(pages), []uint64{1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40})
+		if err != nil {
+			return false
+		}
+		pageWear := make([]uint32, pages)
+		for i := 0; i < int(nOps%2048); i++ {
+			p := src.Intn(pages)
+			dirty := make([]bool, 32)
+			for l := range dirty {
+				dirty[l] = src.Intn(3) == 0 // ~1/3 of lines dirty
+			}
+			if _, _, err := a.WriteDirty(p, dirty); err != nil {
+				return false
+			}
+			pageWear[p]++
+		}
+		for p := 0; p < pages; p++ {
+			if a.MaxLineWear(p) > pageWear[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteEnergy(t *testing.T) {
+	w := DefaultWriteEnergy()
+	if w.PageWritePJ(0) != 0 {
+		t.Fatal("zero lines should cost zero energy")
+	}
+	if w.PageWritePJ(32) <= w.PageWritePJ(1) {
+		t.Fatal("energy not increasing in lines programmed")
+	}
+	// DCW saving 31/32 of lines must save the same fraction of energy.
+	full := w.PageWritePJ(32)
+	one := w.PageWritePJ(1)
+	if one/full != 1.0/32 {
+		t.Fatalf("energy not linear: %v vs %v", one, full)
+	}
+}

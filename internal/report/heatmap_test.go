@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := NewHeatmap("Wear", []float64{0, 0.5, 1.0, 0.25}, 2)
+	out := h.String()
+	if !strings.Contains(out, "Wear") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 data rows + legend
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len([]rune(lines[1])) != 2 || len([]rune(lines[2])) != 2 {
+		t.Fatalf("row widths wrong:\n%s", out)
+	}
+	// Max value renders darkest; zero renders blank.
+	if r := []rune(lines[2])[0]; r != '@' {
+		t.Fatalf("max cell = %q, want '@'", r)
+	}
+	if r := []rune(lines[1])[0]; r != ' ' {
+		t.Fatalf("zero cell = %q, want blank", r)
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	h := NewHeatmap("", []float64{0, 0, 0}, 8)
+	out := h.String() // must not panic or divide by zero
+	if !strings.Contains(out, "scale") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestHeatmapNonZeroVisible(t *testing.T) {
+	// A tiny non-zero value must not render as blank.
+	h := NewHeatmap("", []float64{0.001, 1000}, 2)
+	row := strings.Split(h.String(), "\n")[0]
+	if []rune(row)[0] == ' ' {
+		t.Fatal("tiny value rendered invisible")
+	}
+}
+
+func TestHeatmapDefaultWidth(t *testing.T) {
+	h := NewHeatmap("", make([]float64, 100), 0)
+	if h.width != 64 {
+		t.Fatalf("default width %d", h.width)
+	}
+}

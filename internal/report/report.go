@@ -1,0 +1,163 @@
+// Package report renders the experiment outputs as fixed-width text tables
+// and ASCII series, matching the rows/columns of the paper's tables and the
+// data series of its figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := 0; i < len(t.headers) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v for strings/ints and %.4g for floats.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// Series renders a labeled data series as an ASCII bar chart — the textual
+// analogue of the paper's figure panels.
+type Series struct {
+	title  string
+	labels []string
+	values []float64
+	unit   string
+}
+
+// NewSeries creates a series with a title and a value unit suffix.
+func NewSeries(title, unit string) *Series {
+	return &Series{title: title, unit: unit}
+}
+
+// Add appends one labeled value.
+func (s *Series) Add(label string, value float64) {
+	s.labels = append(s.labels, label)
+	s.values = append(s.values, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.values) }
+
+// Render writes the chart to w; bars scale to maxWidth characters.
+func (s *Series) Render(w io.Writer, maxWidth int) error {
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range s.values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(s.labels[i]) > maxLabel {
+			maxLabel = len(s.labels[i])
+		}
+	}
+	var b strings.Builder
+	if s.title != "" {
+		b.WriteString(s.title)
+		b.WriteByte('\n')
+	}
+	for i, v := range s.values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.4g%s\n",
+			maxLabel, s.labels[i], strings.Repeat("#", bar), v, s.unit)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart to a string with a 40-character bar width.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.Render(&b, 40)
+	return b.String()
+}

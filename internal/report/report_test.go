@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("xxxxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header line must be padded to the data width: "a" + padding.
+	if len(lines[0]) < 6 {
+		t.Fatalf("header not padded: %q", lines[0])
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "x", "y", "z")
+	tb.AddRowf("s", 3, 0.123456)
+	out := tb.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")            // missing cell
+	tb.AddRow("x", "y", "extra") // extra cell dropped
+	out := tb.String()
+	if strings.Contains(out, "extra") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Fig", "y")
+	s.Add("one", 1)
+	s.Add("two", 2)
+	out := s.String()
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "one") {
+		t.Fatalf("series missing content:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bar1 := strings.Count(lines[1], "#")
+	bar2 := strings.Count(lines[2], "#")
+	if bar2 <= bar1 {
+		t.Fatalf("bars not proportional: %d vs %d", bar1, bar2)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesZeroValues(t *testing.T) {
+	s := NewSeries("Z", "")
+	s.Add("a", 0)
+	s.Add("b", 0)
+	out := s.String() // must not divide by zero
+	if !strings.Contains(out, "a") {
+		t.Fatal("zero series broken")
+	}
+}

@@ -1,0 +1,101 @@
+package rng
+
+// Feistel is an 8-bit-wide Feistel-network random number generator, modeling
+// the hardware RNG the paper adopts: "an 8-bit width Feistel Network is
+// adopted to generate random numbers, which costs less than 128 gates"
+// (Section 5.4, following Start-Gap's RNG design).
+//
+// The generator runs a 4-round Feistel permutation over a 16-bit block
+// (two 8-bit halves) in counter mode: block i of the output stream is
+// Permute(counter+i). Counter mode guarantees the full 16-bit period per key
+// and makes the stream trivially seekable, matching how such RNGs are built
+// in memory-controller hardware.
+type Feistel struct {
+	keys    [feistelRounds]uint8
+	counter uint16
+	// buf accumulates 16-bit blocks into 64-bit outputs.
+	buf    uint64
+	bufLen uint
+}
+
+const feistelRounds = 4
+
+// NewFeistel returns a Feistel generator seeded with seed.
+func NewFeistel(seed uint64) *Feistel {
+	f := &Feistel{}
+	f.Seed(seed)
+	return f
+}
+
+// Seed derives the round keys and counter start from seed.
+func (f *Feistel) Seed(seed uint64) {
+	s := splitmix64(seed)
+	for i := range f.keys {
+		f.keys[i] = uint8(s >> (8 * uint(i)))
+	}
+	f.counter = uint16(s >> 40)
+	f.buf = 0
+	f.bufLen = 0
+}
+
+// round is the Feistel round function: an 8-bit S-box-like mix of the half
+// block and the round key. It only needs to be non-linear, not
+// cryptographically strong; hardware implementations use a handful of XOR
+// and AND gates.
+func round(half, key uint8) uint8 {
+	x := half ^ key
+	x = x ^ (x << 3) ^ (x >> 2)
+	x = x + (key << 1)
+	return x ^ (x >> 4)
+}
+
+// permute16 applies the 4-round Feistel network to a 16-bit block.
+func (f *Feistel) permute16(v uint16) uint16 {
+	l := uint8(v >> 8)
+	r := uint8(v)
+	for i := 0; i < feistelRounds; i++ {
+		l, r = r, l^round(r, f.keys[i])
+	}
+	return uint16(l)<<8 | uint16(r)
+}
+
+// next16 returns the next 16-bit block of the stream.
+func (f *Feistel) next16() uint16 {
+	v := f.permute16(f.counter)
+	f.counter++
+	return v
+}
+
+// Uint64 assembles four 16-bit blocks into a 64-bit output.
+func (f *Feistel) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 4; i++ {
+		v = v<<16 | uint64(f.next16())
+	}
+	return v
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (f *Feistel) Float64() float64 {
+	return float64(f.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (f *Feistel) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(f.Uint64() % uint64(n))
+}
+
+// Alpha returns the paper's α ∈ [0,1): the value the TWL engine compares
+// against E_A/(E_A+E_B) during a toss-up (Figure 4b). Hardware produces an
+// 8-bit α; we expose the same granularity so the reproduction inherits the
+// same quantization (1/256) the real circuit would have.
+func (f *Feistel) Alpha() float64 {
+	return float64(f.next16()&0xFF) / 256.0
+}
+
+// Permutation16 exposes the raw 16-bit permutation for tests that verify
+// the network is a bijection (the property that gives the full period).
+func (f *Feistel) Permutation16(v uint16) uint16 { return f.permute16(v) }

@@ -1,0 +1,42 @@
+package rng
+
+import "math"
+
+// Gaussian draws normally-distributed values from an underlying uniform
+// source using the Box–Muller transform. It is used by the process-variation
+// model (endurance ~ N(mean, sigma), Section 5.1: mean 1e8, sigma = 11% of
+// the mean).
+type Gaussian struct {
+	src   Source
+	spare float64
+	has   bool
+}
+
+// NewGaussian returns a Gaussian sampler over src.
+func NewGaussian(src Source) *Gaussian {
+	return &Gaussian{src: src}
+}
+
+// Norm returns a sample from the standard normal distribution N(0, 1).
+func (g *Gaussian) Norm() float64 {
+	if g.has {
+		g.has = false
+		return g.spare
+	}
+	// Box–Muller: generate two independent normals from two uniforms.
+	var u1 float64
+	for u1 == 0 {
+		u1 = g.src.Float64()
+	}
+	u2 := g.src.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	theta := 2 * math.Pi * u2
+	g.spare = r * math.Sin(theta)
+	g.has = true
+	return r * math.Cos(theta)
+}
+
+// Sample returns a sample from N(mean, sigma).
+func (g *Gaussian) Sample(mean, sigma float64) float64 {
+	return mean + sigma*g.Norm()
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "errors"
+
+// Queue models the memory channel as a single-server FIFO: requests that
+// arrive while an earlier request is still being serviced wait, so
+// scheme-induced service-time inflation (swap blocking, table lookups)
+// compounds under load. RunPerf's headline normalization charges bare
+// service time; the queue view adds the utilization-dependent picture a
+// full-system simulator would show.
+type Queue struct {
+	freeAt  int64 // cycle at which the server becomes free
+	busy    int64 // total busy cycles
+	waited  int64 // total queueing delay across requests
+	served  int64
+	lastEnd int64
+}
+
+// Serve admits a request arriving at cycle `arrival` needing `service`
+// cycles, returning when it starts and completes.
+func (q *Queue) Serve(arrival, service int64) (start, done int64, err error) {
+	if service < 0 || arrival < 0 {
+		return 0, 0, errors.New("sim: negative arrival or service")
+	}
+	start = arrival
+	if q.freeAt > start {
+		start = q.freeAt
+	}
+	done = start + service
+	q.freeAt = done
+	q.busy += service
+	q.waited += start - arrival
+	q.served++
+	q.lastEnd = done
+	return start, done, nil
+}
+
+// QueueStats summarizes a queue's history.
+type QueueStats struct {
+	Served       int64
+	BusyCycles   int64
+	WaitedCycles int64
+	// Utilization is busy time over the span from cycle 0 to the last
+	// completion.
+	Utilization float64
+	// MeanWait is the average queueing delay per request, in cycles.
+	MeanWait float64
+}
+
+// Stats returns the queue summary.
+func (q *Queue) Stats() QueueStats {
+	s := QueueStats{Served: q.served, BusyCycles: q.busy, WaitedCycles: q.waited}
+	if q.lastEnd > 0 {
+		s.Utilization = float64(q.busy) / float64(q.lastEnd)
+	}
+	if q.served > 0 {
+		s.MeanWait = float64(q.waited) / float64(q.served)
+	}
+	return s
+}
+
+// QueuedPerf replays a sequence of service times against a fixed arrival
+// cadence (cycles between requests) and returns the queue statistics — the
+// utilization view of a benchmark's request stream under a given demand
+// bandwidth.
+func QueuedPerf(serviceCycles []int64, interarrival int64) (QueueStats, error) {
+	if interarrival <= 0 {
+		return QueueStats{}, errors.New("sim: interarrival must be positive")
+	}
+	var q Queue
+	var t int64
+	for _, s := range serviceCycles {
+		if _, _, err := q.Serve(t, s); err != nil {
+			return QueueStats{}, err
+		}
+		t += interarrival
+	}
+	return q.Stats(), nil
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueueNoContention(t *testing.T) {
+	var q Queue
+	// Arrivals far apart: no waiting.
+	for i := int64(0); i < 10; i++ {
+		start, done, err := q.Serve(i*1000, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != i*1000 || done != i*1000+100 {
+			t.Fatalf("request %d: start %d done %d", i, start, done)
+		}
+	}
+	s := q.Stats()
+	if s.WaitedCycles != 0 {
+		t.Fatalf("waited %d cycles without contention", s.WaitedCycles)
+	}
+	// busy = 10×100 = 1000 over a span of 9100 cycles.
+	if math.Abs(s.Utilization-1000.0/9100.0) > 1e-9 {
+		t.Fatalf("utilization %v", s.Utilization)
+	}
+}
+
+func TestQueueBackToBack(t *testing.T) {
+	var q Queue
+	// All arrive at cycle 0: each waits for its predecessors.
+	var totalWait int64
+	for i := 0; i < 5; i++ {
+		start, _, err := q.Serve(0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != int64(i*10) {
+			t.Fatalf("request %d started at %d", i, start)
+		}
+		totalWait += start
+	}
+	s := q.Stats()
+	if s.WaitedCycles != totalWait || s.WaitedCycles != 0+10+20+30+40 {
+		t.Fatalf("waited %d", s.WaitedCycles)
+	}
+	if s.Utilization != 1.0 {
+		t.Fatalf("saturated queue utilization %v", s.Utilization)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	var q Queue
+	if _, _, err := q.Serve(-1, 10); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+	if _, _, err := q.Serve(0, -10); err == nil {
+		t.Fatal("negative service accepted")
+	}
+}
+
+func TestQueuedPerf(t *testing.T) {
+	// Service 100 every 200 cycles: utilization 0.5, no waiting.
+	services := make([]int64, 100)
+	for i := range services {
+		services[i] = 100
+	}
+	s, err := QueuedPerf(services, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanWait != 0 {
+		t.Fatalf("mean wait %v at 50%% load with deterministic arrivals", s.MeanWait)
+	}
+	if s.Utilization < 0.45 || s.Utilization > 0.55 {
+		t.Fatalf("utilization %v, want ~0.5", s.Utilization)
+	}
+	// Service 300 every 200: overloaded, waits grow linearly.
+	for i := range services {
+		services[i] = 300
+	}
+	s, err = QueuedPerf(services, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanWait < 4000 {
+		t.Fatalf("overloaded queue mean wait %v; should grow ~n/2 × backlog", s.MeanWait)
+	}
+	if s.Utilization < 0.99 {
+		t.Fatalf("overloaded utilization %v", s.Utilization)
+	}
+	if _, err := QueuedPerf(services, 0); err == nil {
+		t.Fatal("zero interarrival accepted")
+	}
+}

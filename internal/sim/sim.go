@@ -1,0 +1,189 @@
+// Package sim is the experiment engine: it drives request sources (attacks
+// or benchmark workloads) through a wear-leveling scheme until the PCM's
+// first page failure (lifetime experiments, Figures 6–8) and accumulates
+// per-request latencies for the performance experiments (Figure 9).
+//
+// Lifetime scaling. The paper simulates a 32 GB array with 10^8-write
+// endurance; that is ~10^15 write events, so — like every wear-leveling
+// study — the experiments here run on a scaled array (fewer pages, lower
+// endurance) and report lifetime normalized to the array's total endurance:
+//
+//	normalized = demand writes at first failure / Σ endurance
+//
+// which is exactly the Figure 8 metric (a perfect, overhead-free leveler
+// scores 1.0). Years are obtained as normalized × ideal-lifetime-years of
+// the full-size system; see IdealYears and EXPERIMENTS.md for the
+// calibration against the paper's Table 2 constants.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"twl/internal/attack"
+	"twl/internal/pcm"
+	"twl/internal/trace"
+	"twl/internal/wl"
+)
+
+// Source produces the request stream for a run. Implementations receive the
+// attacker-visible feedback for the previous request (benign sources ignore
+// it).
+type Source interface {
+	Next(fb attack.Feedback) (addr int, write bool)
+}
+
+// attackSource adapts an attack.Stream (write-only) to Source.
+type attackSource struct{ s attack.Stream }
+
+func (a attackSource) Next(fb attack.Feedback) (int, bool) { return a.s.Next(fb), true }
+
+// FromAttack wraps an attack stream as a request source.
+func FromAttack(s attack.Stream) Source { return attackSource{s} }
+
+// workloadSource adapts a synthetic benchmark generator to Source.
+type workloadSource struct{ g *trace.Synthetic }
+
+func (w workloadSource) Next(attack.Feedback) (int, bool) { return w.g.Next() }
+
+// FromWorkload wraps a benchmark generator as a request source.
+func FromWorkload(g *trace.Synthetic) Source { return workloadSource{g} }
+
+// replaySource loops a recorded trace forever.
+type replaySource struct {
+	recs []trace.Record
+	pos  int
+	mod  int
+}
+
+// FromTrace wraps an in-memory trace, replayed in a loop (the paper's
+// methodology: "use the trace to simulate each benchmark's execution in
+// loops until a PCM page wears out"). Addresses are folded into
+// [0, pages) by modulo.
+func FromTrace(recs []trace.Record, pages int) (Source, error) {
+	if len(recs) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	if pages <= 0 {
+		return nil, errors.New("sim: pages must be positive")
+	}
+	return &replaySource{recs: recs, mod: pages}, nil
+}
+
+func (r *replaySource) Next(attack.Feedback) (int, bool) {
+	rec := r.recs[r.pos]
+	r.pos++
+	if r.pos == len(r.recs) {
+		r.pos = 0
+	}
+	return int(rec.Addr % uint64(r.mod)), rec.Op == trace.Write
+}
+
+// LifetimeConfig controls a lifetime run.
+type LifetimeConfig struct {
+	// MaxDemandWrites caps the run; 0 means 2 × total endurance (beyond
+	// which the scheme is performing better than a perfect leveler could,
+	// i.e. something is wrong).
+	MaxDemandWrites uint64
+	// CheckEvery runs the scheme's invariant checker every N demand writes
+	// (0 disables). Paranoid mode for integration tests.
+	CheckEvery uint64
+}
+
+// LifetimeResult summarizes a lifetime run.
+type LifetimeResult struct {
+	Scheme       string
+	DemandWrites uint64 // demand writes served before first failure
+	DemandReads  uint64
+	DeviceWrites uint64
+	SwapWrites   uint64
+	Swaps        uint64
+	FailedPage   int  // physical page that died (-1 if capped)
+	Capped       bool // run hit MaxDemandWrites without a failure
+	// Normalized is DemandWrites / Σ endurance — the Figure 8 metric.
+	Normalized float64
+	// Cycles is the total request latency accumulated over the run.
+	Cycles int64
+}
+
+// Years converts the normalized lifetime to years given the full-size
+// system's ideal lifetime (see IdealYears).
+func (r LifetimeResult) Years(idealYears float64) float64 {
+	return r.Normalized * idealYears
+}
+
+// RunLifetime drives src through s until the device's first page failure or
+// the configured cap, and returns the summary.
+func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, error) {
+	dev := s.Device()
+	if _, failed := dev.Failed(); failed {
+		return LifetimeResult{}, errors.New("sim: device already failed before the run")
+	}
+	totalEnd := dev.TotalEndurance()
+	limit := cfg.MaxDemandWrites
+	if limit == 0 {
+		limit = 2 * totalEnd
+	}
+	timing := dev.Timing()
+	checker, _ := s.(wl.Checker)
+
+	var fb attack.Feedback
+	var demand uint64
+	var cycles int64
+	res := LifetimeResult{Scheme: s.Name(), FailedPage: -1}
+	for demand < limit {
+		addr, write := src.Next(fb)
+		var cost wl.Cost
+		if write {
+			cost = s.Write(addr, demand)
+			demand++
+		} else {
+			_, cost = s.Read(addr)
+		}
+		c := cost.Cycles(timing)
+		cycles += c
+		fb = attack.Feedback{Blocked: cost.Blocked, Cycles: c}
+
+		if cfg.CheckEvery > 0 && checker != nil && demand%cfg.CheckEvery == 0 {
+			if err := checker.CheckInvariants(); err != nil {
+				return res, fmt.Errorf("sim: invariant violation after %d writes: %w", demand, err)
+			}
+		}
+		if page, failed := dev.Failed(); failed {
+			res.FailedPage = page
+			break
+		}
+	}
+	if res.FailedPage < 0 {
+		res.Capped = true
+	}
+	st := s.Stats()
+	res.DemandWrites = st.DemandWrites
+	res.DemandReads = st.DemandReads
+	res.SwapWrites = st.SwapWrites
+	res.Swaps = st.Swaps
+	res.DeviceWrites = dev.TotalWrites()
+	res.Normalized = float64(st.DemandWrites) / float64(totalEnd)
+	res.Cycles = cycles
+	return res, nil
+}
+
+// SecondsPerYear is the conversion constant for lifetime reporting.
+const SecondsPerYear = 3.1536e7
+
+// IdealYearsCalibration aligns the raw endurance-sum bound with the ideal
+// lifetimes the paper reports. Table 2's ideal lifetimes are consistently
+// 0.49 × capacity·endurance/bandwidth (e.g. vips: 32 GiB × 10^8 / 3309 MBps
+// = 32.9 raw years vs 16 reported; blackscholes 900 vs 446), i.e. the
+// authors assume an effective endurance of ~0.49×10^8 per cell. We adopt
+// the same constant so absolute years are comparable; it cancels in every
+// normalized comparison.
+const IdealYearsCalibration = 0.49
+
+// IdealYears returns the ideal lifetime in years of a full-size system:
+// capacity × mean endurance / write bandwidth, calibrated to the paper's
+// Table 2 convention.
+func IdealYears(geom pcm.Geometry, meanEndurance, bytesPerSecond float64) float64 {
+	totalBytes := float64(geom.Capacity()) * meanEndurance
+	return IdealYearsCalibration * totalBytes / bytesPerSecond / SecondsPerYear
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean([1,2,3]) != 2")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil || !almostEq(g, 10) {
+		t.Fatalf("GeoMean([1,100]) = %v, %v", g, err)
+	}
+	g, err = GeoMean([]float64{2, 2, 2})
+	if err != nil || !almostEq(g, 2) {
+		t.Fatalf("GeoMean([2,2,2]) = %v, %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("GeoMean(nil) accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("GeoMean with zero accepted")
+	}
+	if _, err := GeoMean([]float64{-1}); err == nil {
+		t.Fatal("GeoMean with negative accepted")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 {
+		t.Fatal("StdDev(nil) != 0")
+	}
+	if !almostEq(StdDev([]float64{5, 5, 5}), 0) {
+		t.Fatal("constant StdDev != 0")
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is 2.
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 2) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil || !almostEq(got, tc.want) {
+			t.Fatalf("P%v = %v (%v), want %v", tc.p, got, err, tc.want)
+		}
+	}
+	// Interpolation between ranks.
+	got, err := Percentile([]float64{1, 2}, 50)
+	if err != nil || !almostEq(got, 1.5) {
+		t.Fatalf("P50 of {1,2} = %v, want 1.5", got)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("Percentile(nil) accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("p=101 accepted")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+	// Single element.
+	got, err = Percentile([]float64{7}, 99)
+	if err != nil || got != 7 {
+		t.Fatalf("single-element percentile = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v,%v,%v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Fatal("MinMax(nil) accepted")
+	}
+}

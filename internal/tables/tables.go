@@ -1,0 +1,221 @@
+// Package tables implements the hardware metadata tables used by PV-aware
+// wear-leveling schemes, matching the structures named in Figures 1 and 5 of
+// the paper:
+//
+//   - RT   (remapping table):        logical address → physical address,
+//     maintained as a bijection with an inverse for O(1) swaps.
+//   - ET   (endurance table):        per-physical-page endurance, tested by
+//     the manufacturer.
+//   - WNT  (write number table):     per-logical-address write counts during
+//     a prediction phase (WRL).
+//   - SWPT (strong-weak pair table): per-page toss-up partner (TWL).
+//   - WCT  (write counter table):    per-pair counters driving the
+//     interval-triggered toss-up (TWL).
+//
+// All tables are plain in-memory structures sized one entry per page; the
+// hardware-cost model in internal/hwcost derives the bit widths the paper
+// reports in Section 5.4 from these shapes.
+package tables
+
+import "fmt"
+
+// Remap is the remapping table (RT): a bijection between logical page
+// addresses (LA) and physical page addresses (PA). It keeps the inverse
+// mapping so both directions are O(1) and swaps stay cheap.
+type Remap struct {
+	toPhys []int // LA → PA
+	toLog  []int // PA → LA
+}
+
+// NewRemap returns an identity mapping over n pages.
+func NewRemap(n int) *Remap {
+	r := &Remap{
+		toPhys: make([]int, n),
+		toLog:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		r.toPhys[i] = i
+		r.toLog[i] = i
+	}
+	return r
+}
+
+// Len returns the number of pages mapped.
+func (r *Remap) Len() int { return len(r.toPhys) }
+
+// Phys returns the physical page currently backing logical page la.
+func (r *Remap) Phys(la int) int { return r.toPhys[la] }
+
+// Log returns the logical page currently mapped to physical page pa.
+func (r *Remap) Log(pa int) int { return r.toLog[pa] }
+
+// SwapLogical exchanges the physical pages backing logical addresses la1 and
+// la2. This is the mapping update that accompanies a data swap.
+func (r *Remap) SwapLogical(la1, la2 int) {
+	p1, p2 := r.toPhys[la1], r.toPhys[la2]
+	r.toPhys[la1], r.toPhys[la2] = p2, p1
+	r.toLog[p1], r.toLog[p2] = la2, la1
+}
+
+// SwapPhysical exchanges the logical owners of physical addresses pa1 and
+// pa2 (the same operation as SwapLogical, addressed from the physical side).
+func (r *Remap) SwapPhysical(pa1, pa2 int) {
+	r.SwapLogical(r.toLog[pa1], r.toLog[pa2])
+}
+
+// CheckBijection verifies RT ∘ RT⁻¹ = identity; it returns a descriptive
+// error on the first inconsistency. Tests and the simulator's paranoid mode
+// use this invariant check.
+func (r *Remap) CheckBijection() error {
+	for la, pa := range r.toPhys {
+		if pa < 0 || pa >= len(r.toLog) {
+			return fmt.Errorf("tables: LA %d maps to out-of-range PA %d", la, pa)
+		}
+		if r.toLog[pa] != la {
+			return fmt.Errorf("tables: LA %d → PA %d but PA %d → LA %d",
+				la, pa, pa, r.toLog[pa])
+		}
+	}
+	return nil
+}
+
+// WriteCounts is the write number table (WNT): per-logical-page write counts
+// accumulated during a prediction phase.
+type WriteCounts struct {
+	counts []uint64
+}
+
+// NewWriteCounts returns a zeroed WNT over n pages.
+func NewWriteCounts(n int) *WriteCounts {
+	return &WriteCounts{counts: make([]uint64, n)}
+}
+
+// Record counts one write to logical page la.
+func (w *WriteCounts) Record(la int) { w.counts[la]++ }
+
+// Count returns the accumulated count for la.
+func (w *WriteCounts) Count(la int) uint64 { return w.counts[la] }
+
+// Reset zeroes all counters (start of a new prediction phase).
+func (w *WriteCounts) Reset() {
+	for i := range w.counts {
+		w.counts[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the counters.
+func (w *WriteCounts) Snapshot() []uint64 {
+	out := make([]uint64, len(w.counts))
+	copy(out, w.counts)
+	return out
+}
+
+// PairTable is the strong-weak pair table (SWPT): partner[p] is the toss-up
+// partner of page p. A valid pairing is a symmetric involution with no fixed
+// points (every page has exactly one partner, and partnership is mutual).
+type PairTable struct {
+	partner []int
+}
+
+// NewPairTable returns an unpaired table (all entries -1) over n pages.
+// n must be even to admit a perfect pairing.
+func NewPairTable(n int) (*PairTable, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("tables: pair table needs an even page count, got %d", n)
+	}
+	p := &PairTable{partner: make([]int, n)}
+	for i := range p.partner {
+		p.partner[i] = -1
+	}
+	return p, nil
+}
+
+// Len returns the number of pages.
+func (p *PairTable) Len() int { return len(p.partner) }
+
+// Bind pairs pages a and b. Both must currently be unpaired or already be
+// each other's partner.
+func (p *PairTable) Bind(a, b int) error {
+	if a == b {
+		return fmt.Errorf("tables: cannot pair page %d with itself", a)
+	}
+	if p.partner[a] != -1 && p.partner[a] != b {
+		return fmt.Errorf("tables: page %d already paired with %d", a, p.partner[a])
+	}
+	if p.partner[b] != -1 && p.partner[b] != a {
+		return fmt.Errorf("tables: page %d already paired with %d", b, p.partner[b])
+	}
+	p.partner[a] = b
+	p.partner[b] = a
+	return nil
+}
+
+// Partner returns the partner of page a (or -1 if unpaired).
+func (p *PairTable) Partner(a int) int { return p.partner[a] }
+
+// Rebind atomically re-pairs after an inter-pair swap: given pages x and y
+// belonging to different pairs (x,px) and (y,py), it forms (x,py) and (y,px)
+// — the pairing follows the physical pages, so when x and y exchange roles
+// their old partners exchange too. If x and y are already partners this is a
+// no-op.
+func (p *PairTable) Rebind(x, y int) {
+	px, py := p.partner[x], p.partner[y]
+	if px == y {
+		return
+	}
+	p.partner[x] = py
+	p.partner[py] = x
+	p.partner[y] = px
+	p.partner[px] = y
+}
+
+// Check verifies the involution invariant: partner[partner[i]] == i and
+// partner[i] != i for all i.
+func (p *PairTable) Check() error {
+	for i, q := range p.partner {
+		if q < 0 || q >= len(p.partner) {
+			return fmt.Errorf("tables: page %d has invalid partner %d", i, q)
+		}
+		if q == i {
+			return fmt.Errorf("tables: page %d paired with itself", i)
+		}
+		if p.partner[q] != i {
+			return fmt.Errorf("tables: pairing not symmetric: %d→%d but %d→%d",
+				i, q, q, p.partner[q])
+		}
+	}
+	return nil
+}
+
+// Counter is the write counter table (WCT): small per-entry counters used to
+// trigger the toss-up every interval writes. The paper budgets 7 bits per
+// entry, so counters wrap modulo 128 exactly as the hardware register would;
+// the engine treats a wrap to zero as the 128th increment, which lets the
+// full interval range [1, 128] be expressed in 7 bits.
+type Counter struct {
+	counts []uint8
+}
+
+// WCTBits is the per-entry width the paper reserves (Section 5.4).
+const WCTBits = 7
+
+// NewCounter returns a zeroed counter table over n entries.
+func NewCounter(n int) *Counter {
+	return &Counter{counts: make([]uint8, n)}
+}
+
+// Inc increments entry i modulo 2^WCTBits and returns the new value; a
+// returned zero means the counter just completed its 128th increment.
+func (c *Counter) Inc(i int) uint8 {
+	c.counts[i] = (c.counts[i] + 1) & (1<<WCTBits - 1)
+	return c.counts[i]
+}
+
+// Get returns entry i.
+func (c *Counter) Get(i int) uint8 { return c.counts[i] }
+
+// Clear zeroes entry i.
+func (c *Counter) Clear(i int) { c.counts[i] = 0 }
+
+// MaxInterval is the largest toss-up interval a 7-bit WCT can express.
+const MaxInterval = 128

@@ -1,0 +1,258 @@
+package tables
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twl/internal/rng"
+)
+
+func TestRemapIdentity(t *testing.T) {
+	r := NewRemap(8)
+	for i := 0; i < 8; i++ {
+		if r.Phys(i) != i || r.Log(i) != i {
+			t.Fatalf("initial mapping not identity at %d", i)
+		}
+	}
+	if err := r.CheckBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapSwapLogical(t *testing.T) {
+	r := NewRemap(4)
+	r.SwapLogical(0, 3)
+	if r.Phys(0) != 3 || r.Phys(3) != 0 {
+		t.Fatalf("after swap: Phys(0)=%d Phys(3)=%d", r.Phys(0), r.Phys(3))
+	}
+	if r.Log(3) != 0 || r.Log(0) != 3 {
+		t.Fatalf("inverse not updated: Log(3)=%d Log(0)=%d", r.Log(3), r.Log(0))
+	}
+	if err := r.CheckBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapSwapPhysical(t *testing.T) {
+	r := NewRemap(4)
+	r.SwapLogical(0, 1) // LA0→PA1, LA1→PA0
+	r.SwapPhysical(0, 2)
+	// PA0 held LA1, PA2 held LA2; after the physical swap LA1→PA2, LA2→PA0.
+	if r.Phys(1) != 2 || r.Phys(2) != 0 {
+		t.Fatalf("Phys(1)=%d Phys(2)=%d, want 2,0", r.Phys(1), r.Phys(2))
+	}
+	if err := r.CheckBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapSelfSwapIsNoop(t *testing.T) {
+	r := NewRemap(4)
+	r.SwapLogical(2, 2)
+	if r.Phys(2) != 2 {
+		t.Fatal("self swap changed mapping")
+	}
+	if err := r.CheckBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemapBijectionProperty: any sequence of swaps preserves the bijection
+// and the round-trip identity.
+func TestRemapBijectionProperty(t *testing.T) {
+	check := func(seed uint64, nOps uint16) bool {
+		src := rng.NewXorshift(seed)
+		r := NewRemap(64)
+		for i := 0; i < int(nOps%512); i++ {
+			if src.Intn(2) == 0 {
+				r.SwapLogical(src.Intn(64), src.Intn(64))
+			} else {
+				r.SwapPhysical(src.Intn(64), src.Intn(64))
+			}
+		}
+		if err := r.CheckBijection(); err != nil {
+			return false
+		}
+		for la := 0; la < 64; la++ {
+			if r.Log(r.Phys(la)) != la {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCounts(t *testing.T) {
+	w := NewWriteCounts(4)
+	w.Record(1)
+	w.Record(1)
+	w.Record(3)
+	if w.Count(1) != 2 || w.Count(3) != 1 || w.Count(0) != 0 {
+		t.Fatalf("counts wrong: %v", w.Snapshot())
+	}
+	snap := w.Snapshot()
+	w.Record(0)
+	if snap[0] != 0 {
+		t.Fatal("snapshot aliases live counters")
+	}
+	w.Reset()
+	for i := 0; i < 4; i++ {
+		if w.Count(i) != 0 {
+			t.Fatalf("Reset left count %d at %d", w.Count(i), i)
+		}
+	}
+}
+
+func TestPairTableOddRejected(t *testing.T) {
+	if _, err := NewPairTable(5); err == nil {
+		t.Fatal("odd page count accepted")
+	}
+}
+
+func TestPairTableBind(t *testing.T) {
+	p, err := NewPairTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Partner(0) != 2 || p.Partner(2) != 0 {
+		t.Fatal("binding not symmetric")
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebinding the same pair is fine.
+	if err := p.Bind(2, 0); err != nil {
+		t.Fatalf("idempotent bind rejected: %v", err)
+	}
+}
+
+func TestPairTableBindErrors(t *testing.T) {
+	p, _ := NewPairTable(4)
+	if err := p.Bind(1, 1); err == nil {
+		t.Fatal("self pair accepted")
+	}
+	p.Bind(0, 1)
+	if err := p.Bind(0, 2); err == nil {
+		t.Fatal("conflicting pair accepted for a")
+	}
+	if err := p.Bind(2, 1); err == nil {
+		t.Fatal("conflicting pair accepted for b")
+	}
+}
+
+func TestPairTableRebind(t *testing.T) {
+	p, _ := NewPairTable(8)
+	p.Bind(0, 1)
+	p.Bind(2, 3)
+	// Inter-pair swap between pages 0 and 2: partners exchange.
+	p.Rebind(0, 2)
+	if p.Partner(0) != 3 || p.Partner(3) != 0 {
+		t.Fatalf("Partner(0)=%d, want 3", p.Partner(0))
+	}
+	if p.Partner(2) != 1 || p.Partner(1) != 2 {
+		t.Fatalf("Partner(2)=%d, want 1", p.Partner(2))
+	}
+	p.Bind(4, 5)
+	p.Bind(6, 7)
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairTableRebindPartnersNoop(t *testing.T) {
+	p, _ := NewPairTable(4)
+	p.Bind(0, 1)
+	p.Bind(2, 3)
+	p.Rebind(0, 1) // already partners
+	if p.Partner(0) != 1 || p.Partner(1) != 0 {
+		t.Fatal("rebind of partners changed pairing")
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPairTableInvolutionProperty: arbitrary rebind sequences preserve the
+// involution invariant.
+func TestPairTableInvolutionProperty(t *testing.T) {
+	check := func(seed uint64, nOps uint16) bool {
+		src := rng.NewXorshift(seed)
+		const n = 32
+		p, err := NewPairTable(n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n/2; i++ {
+			if err := p.Bind(i, n-1-i); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < int(nOps%1024); i++ {
+			p.Rebind(src.Intn(n), src.Intn(n))
+		}
+		return p.Check() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairTableCheckDetectsUnpaired(t *testing.T) {
+	p, _ := NewPairTable(4)
+	p.Bind(0, 1)
+	if err := p.Check(); err == nil {
+		t.Fatal("Check accepted table with unpaired pages")
+	}
+}
+
+func TestCounterWrapsAt128(t *testing.T) {
+	c := NewCounter(2)
+	for i := 1; i <= 127; i++ {
+		if v := c.Inc(0); v != uint8(i) {
+			t.Fatalf("Inc #%d = %d", i, v)
+		}
+	}
+	if v := c.Inc(0); v != 0 {
+		t.Fatalf("128th Inc = %d, want wrap to 0", v)
+	}
+	if c.Get(1) != 0 {
+		t.Fatal("incrementing entry 0 touched entry 1")
+	}
+	c.Inc(0)
+	c.Clear(0)
+	if c.Get(0) != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestCounterIncReturnsNewValue(t *testing.T) {
+	c := NewCounter(1)
+	if v := c.Inc(0); v != 1 {
+		t.Fatalf("first Inc = %d, want 1", v)
+	}
+	if v := c.Inc(0); v != 2 {
+		t.Fatalf("second Inc = %d, want 2", v)
+	}
+}
+
+func TestRebindSelfNoop(t *testing.T) {
+	p, _ := NewPairTable(4)
+	p.Bind(0, 1)
+	p.Bind(2, 3)
+	p.Rebind(2, 2)
+	if err := p.Check(); err != nil {
+		t.Fatalf("self rebind broke table: %v", err)
+	}
+	if p.Partner(2) != 3 {
+		t.Fatal("self rebind changed pairing")
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// NVMainReader parses traces in the format of the NVMain simulator the
+// paper connects gem5 to ("cycle op address data [threadID]", with the op
+// R or W and the address a hex byte address). Only the op and the address
+// matter for wear simulation; byte addresses fold to page numbers.
+//
+// Example line:
+//
+//	125 W 0x2ae5d63000 3f3f3f3f3f3f3f3f 0
+type NVMainReader struct {
+	s        *bufio.Scanner
+	pageSize uint64
+	line     int
+}
+
+// NewNVMainReader reads NVMain-format traces from r, folding byte
+// addresses into pages of pageSize bytes.
+func NewNVMainReader(r io.Reader, pageSize int) (*NVMainReader, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("trace: pageSize must be positive, got %d", pageSize)
+	}
+	return &NVMainReader{s: bufio.NewScanner(r), pageSize: uint64(pageSize)}, nil
+}
+
+// Read returns the next record (addresses are page numbers), or io.EOF.
+func (n *NVMainReader) Read() (Record, error) {
+	for n.s.Scan() {
+		n.line++
+		line := strings.TrimSpace(n.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "NVMV") {
+			// NVMain traces may start with a version header ("NVMV1").
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return Record{}, fmt.Errorf("trace: nvmain line %d: want >= 3 fields, got %q", n.line, line)
+		}
+		var op Op
+		switch fields[1] {
+		case "R", "r":
+			op = Read
+		case "W", "w":
+			op = Write
+		default:
+			return Record{}, fmt.Errorf("trace: nvmain line %d: unknown op %q", n.line, fields[1])
+		}
+		addrField := strings.TrimPrefix(strings.ToLower(fields[2]), "0x")
+		addr, err := strconv.ParseUint(addrField, 16, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: nvmain line %d: bad address: %v", n.line, err)
+		}
+		return Record{Op: op, Addr: addr / n.pageSize}, nil
+	}
+	if err := n.s.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll drains the reader into a slice (convenience for sim.FromTrace).
+func (n *NVMainReader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		r, err := n.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNVMainReader(t *testing.T) {
+	in := `NVMV1
+# comment
+125 W 0x2000 3f3f3f3f 0
+130 R 0x3005 deadbeef 1
+200 W 0x1fff cafe 0
+`
+	r, err := NewNVMainReader(strings.NewReader(in), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Write, 2}, // 0x2000/4096 = 2
+		{Read, 3},  // 0x3005/4096 = 3
+		{Write, 1}, // 0x1fff/4096 = 1
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestNVMainReaderAddressWithoutPrefix(t *testing.T) {
+	r, err := NewNVMainReader(strings.NewReader("1 W 2ae5d63000 0 0\n"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Addr != 0x2ae5d63000/4096 {
+		t.Fatalf("addr = %d", rec.Addr)
+	}
+}
+
+func TestNVMainReaderErrors(t *testing.T) {
+	cases := []string{
+		"1 X 0x1000 0 0\n",
+		"1 W zzzz 0 0\n",
+		"1 W\n",
+	}
+	for _, in := range cases {
+		r, err := NewNVMainReader(strings.NewReader(in), 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(); err == nil || err == io.EOF {
+			t.Errorf("input %q: expected parse error, got %v", in, err)
+		}
+	}
+	if _, err := NewNVMainReader(strings.NewReader(""), 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestNVMainReaderEOF(t *testing.T) {
+	r, _ := NewNVMainReader(strings.NewReader("NVMV1\n# nothing\n"), 4096)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+
+	"twl/internal/rng"
+)
+
+// Phased wraps a Synthetic generator with program-phase behavior: every
+// PhaseWrites writes, the rank→page assignment reshuffles, moving the hot
+// working set to different pages — the way real programs change phases
+// (new allocation epochs, different processing stages).
+//
+// Phases stress the adaptive machinery in two ways the stationary generator
+// cannot: prediction-based schemes (WRL, BWL) must re-learn the hot set,
+// and the attack detector must NOT confuse a legitimate phase change
+// (which also decorrelates consecutive windows, once) with the
+// inconsistent-write attack (which reverses the distribution repeatedly).
+type Phased struct {
+	inner       *Synthetic
+	phaseWrites int
+	writes      int
+	phases      int
+	src         *rng.Xorshift
+}
+
+// NewPhased builds a phased generator: bench over pages pages, reshuffling
+// the working set every phaseWrites writes.
+func NewPhased(bench Benchmark, pages int, phaseWrites int, seed uint64) (*Phased, error) {
+	if phaseWrites <= 0 {
+		return nil, fmt.Errorf("trace: phaseWrites must be positive, got %d", phaseWrites)
+	}
+	inner, err := NewSynthetic(bench, pages, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Phased{
+		inner:       inner,
+		phaseWrites: phaseWrites,
+		src:         rng.NewXorshift(seed ^ 0x9E9E9E9E),
+	}, nil
+}
+
+// Next returns the next request, advancing the phase when due.
+func (p *Phased) Next() (addr int, write bool) {
+	addr, write = p.inner.Next()
+	if write {
+		p.writes++
+		if p.writes >= p.phaseWrites {
+			p.writes = 0
+			p.phases++
+			p.inner.buildPerm(p.src.Uint64())
+		}
+	}
+	return addr, write
+}
+
+// Phases returns how many phase changes have occurred.
+func (p *Phased) Phases() int { return p.phases }
+
+// Inner exposes the wrapped generator (for calibration inspection).
+func (p *Phased) Inner() *Synthetic { return p.inner }

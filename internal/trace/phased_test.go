@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestPhasedValidation(t *testing.T) {
+	b, _ := BenchmarkByName("canneal")
+	if _, err := NewPhased(b, 256, 0, 1); err == nil {
+		t.Fatal("zero phase length accepted")
+	}
+	bad := b
+	bad.WriteFraction = 0
+	if _, err := NewPhased(bad, 256, 1000, 1); err == nil {
+		t.Fatal("invalid inner config accepted")
+	}
+}
+
+func TestPhasedAdvancesPhases(t *testing.T) {
+	b, _ := BenchmarkByName("canneal")
+	p, err := NewPhased(b, 256, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for writes < 5500 {
+		if _, w := p.Next(); w {
+			writes++
+		}
+	}
+	if p.Phases() != 5 {
+		t.Fatalf("phases = %d after 5500 writes at 1000/phase, want 5", p.Phases())
+	}
+}
+
+// TestPhasedMovesHotSet: the hottest page before and after a phase change
+// must (almost always) differ.
+func TestPhasedMovesHotSet(t *testing.T) {
+	b, _ := BenchmarkByName("vips")
+	p, err := NewPhased(b, 512, 50000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotOf := func() int {
+		counts := map[int]int{}
+		writes := 0
+		for writes < 40000 {
+			addr, w := p.Next()
+			if w {
+				counts[addr]++
+				writes++
+			}
+		}
+		best, bestN := -1, -1
+		for a, n := range counts {
+			if n > bestN {
+				best, bestN = a, n
+			}
+		}
+		return best
+	}
+	h1 := hotOf()
+	// Drain past the phase boundary.
+	writes := 0
+	for writes < 20000 {
+		if _, w := p.Next(); w {
+			writes++
+		}
+	}
+	h2 := hotOf()
+	if h1 == h2 {
+		t.Fatalf("hottest page %d unchanged across a phase boundary", h1)
+	}
+}
+
+// TestPhasedPreservesConcentration: the per-phase hottest share still
+// matches the Table 2 calibration (phases move the hot set, not its shape).
+func TestPhasedPreservesConcentration(t *testing.T) {
+	b, _ := BenchmarkByName("canneal")
+	p, err := NewPhased(b, 512, 1<<30, 9) // effectively one long phase
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	writes := 0
+	for writes < 500000 {
+		addr, w := p.Next()
+		if w {
+			counts[addr]++
+			writes++
+		}
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	share := float64(max) / float64(writes)
+	want := p.Inner().HottestShare()
+	if share < want*0.85 || share > want*1.15 {
+		t.Fatalf("share %v vs designed %v", share, want)
+	}
+}

@@ -1,0 +1,173 @@
+package bwl
+
+import (
+	"testing"
+
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+func build(tb testing.TB, seed uint64) wl.Scheme {
+	dev := wltest.NewDevice(tb, 256, seed)
+	// The conformance device has effectively infinite endurance, so pin the
+	// rotation quantum and trust window to finite values that exercise the
+	// swap machinery.
+	cfg := DefaultConfig(256, seed)
+	cfg.MoveThreshold = 500
+	cfg.ColdTrustWrites = 1000
+	s, err := New(dev, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	wltest.Run(t, build)
+}
+
+func TestValidation(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 1)
+	bad := []Config{
+		{EpochWrites: 0, FilterSlots: 64, FilterHashes: 2, CandidateProbes: 4},
+		{EpochWrites: 10, FilterSlots: 64, FilterHashes: 2, MoveThreshold: -1, CandidateProbes: 4},
+		{EpochWrites: 10, FilterSlots: 64, FilterHashes: 2, CandidateProbes: 0},
+		{EpochWrites: 10, FilterSlots: 0, FilterHashes: 2, CandidateProbes: 4},
+		{EpochWrites: 10, FilterSlots: 64, FilterHashes: 2, CandidateProbes: 4, ColdTrustWrites: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(dev, cfg); err == nil {
+			t.Errorf("case %d: %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestHotAddressPromoted: a hammered address must rotate off the weakest
+// page onto one with more remaining life after a rotation quantum.
+func TestHotAddressPromoted(t *testing.T) {
+	dev := wltest.NewDevice(t, 256, 2)
+	cfg := DefaultConfig(256, 3)
+	cfg.MoveThreshold = 1000
+	s, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an address currently sitting on a below-median page: with the
+	// identity initial mapping, pick the weakest page's logical address.
+	weakest := wl.SortByEndurance(dev.EnduranceMap())[0]
+	la := weakest // identity mapping
+
+	// Background traffic plus a hammered address.
+	for i := 0; i < 20000; i++ {
+		s.Write(la, 1)
+		s.Write(i%256, 2)
+	}
+	paNow := s.rt.Phys(la)
+	if dev.Remaining(paNow) <= dev.Remaining(weakest) {
+		t.Fatalf("hot address still on the ground-down page (remaining %d vs %d); not rotated",
+			dev.Remaining(paNow), dev.Remaining(weakest))
+	}
+}
+
+// TestColdDemotion: an address silent for over an epoch gets demoted off a
+// strong page on its next write.
+func TestColdDemotion(t *testing.T) {
+	dev := wltest.NewDevice(t, 256, 4)
+	s, err := New(dev, DefaultConfig(256, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strongest := wl.SortByEndurance(dev.EnduranceMap())[255]
+	coldLA := strongest // identity mapping: the cold address owns the best page
+
+	// Several epochs of traffic that never touches coldLA.
+	for i := 0; i < 4*s.cfg.EpochWrites; i++ {
+		s.Write((coldLA+1+i%16)%256, 1)
+	}
+	// coldLA has been silent for > 2 epochs: its next write must demote it.
+	s.Write(coldLA, 2)
+	paNow := s.rt.Phys(coldLA)
+	if paNow == strongest {
+		t.Fatal("cold address still occupies the strongest page; demotion never fired")
+	}
+	if dev.Endurance(paNow) >= dev.Endurance(strongest) {
+		t.Fatalf("cold address moved to an even stronger page (%d >= %d)",
+			dev.Endurance(paNow), dev.Endurance(strongest))
+	}
+	if s.coldLock[coldLA] == 0 {
+		t.Fatal("demotion did not arm the cold-trust lock")
+	}
+}
+
+// TestPerWriteOverheadCharged: Figure 9's premise — BWL pays Bloom-probe
+// cycles on every single write.
+func TestPerWriteOverheadCharged(t *testing.T) {
+	dev := wltest.NewDevice(t, 256, 6)
+	cfg := DefaultConfig(256, 7)
+	s, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := s.Write(0, 1)
+	minCycles := 2 * cfg.FilterHashes * wl.TableCycles
+	if cost.ExtraCycles < minCycles {
+		t.Fatalf("write charged %d extra cycles, want >= %d (Bloom probes)",
+			cost.ExtraCycles, minCycles)
+	}
+}
+
+// TestSwapsCostTwoWrites: promotions/demotions are pairwise swaps.
+func TestSwapsCostTwoWrites(t *testing.T) {
+	dev := wltest.NewDevice(t, 256, 8)
+	cfg := DefaultConfig(256, 9)
+	cfg.MoveThreshold = 500
+	s, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSwap := false
+	for i := 0; i < 50000; i++ {
+		var cost wl.Cost
+		if i%2 == 0 {
+			cost = s.Write(3, 1) // hammer to provoke promotion
+		} else {
+			cost = s.Write(i%256, 2)
+		}
+		switch cost.DeviceWrites {
+		case 1:
+		case 3:
+			sawSwap = true
+			if !cost.Blocked {
+				t.Fatal("swap not reported blocked")
+			}
+		default:
+			t.Fatalf("write cost %d device writes", cost.DeviceWrites)
+		}
+	}
+	if !sawSwap {
+		t.Fatal("no promotion swap observed")
+	}
+}
+
+func TestEpochAging(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 10)
+	cfg := DefaultConfig(64, 11)
+	cfg.EpochWrites = 100
+	s, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Write(5, 1)
+	}
+	// After the epoch boundary the estimate was halved.
+	if est := s.cbf.Estimate(5); est > 60 {
+		t.Fatalf("estimate %d after epoch, want halved (~50)", est)
+	}
+}
+
+func TestName(t *testing.T) {
+	if build(t, 1).Name() != "BWL" {
+		t.Fatal("name mismatch")
+	}
+}

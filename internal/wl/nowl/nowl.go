@@ -1,0 +1,47 @@
+// Package nowl implements the "no wear leveling" baseline (NOWL in the
+// paper's figures): logical addresses map to physical pages identically and
+// no swaps ever occur. It anchors both ends of the evaluation — the ideal
+// lifetime for uniform workloads and near-zero lifetime under the repeat
+// attack.
+package nowl
+
+import (
+	"twl/internal/pcm"
+	"twl/internal/wl"
+)
+
+// Scheme is the identity-mapping baseline.
+type Scheme struct {
+	dev   *pcm.Device
+	stats wl.Stats
+}
+
+// New returns a NOWL scheme over dev.
+func New(dev *pcm.Device) *Scheme {
+	return &Scheme{dev: dev}
+}
+
+// Name implements wl.Scheme.
+func (s *Scheme) Name() string { return "NOWL" }
+
+// Write implements wl.Scheme: the logical page is the physical page.
+func (s *Scheme) Write(la int, tag uint64) wl.Cost {
+	s.dev.Write(la, tag)
+	s.stats.DemandWrites++
+	return wl.Cost{DeviceWrites: 1}
+}
+
+// Read implements wl.Scheme.
+func (s *Scheme) Read(la int) (uint64, wl.Cost) {
+	s.stats.DemandReads++
+	return s.dev.Read(la), wl.Cost{DeviceReads: 1}
+}
+
+// Stats implements wl.Scheme.
+func (s *Scheme) Stats() wl.Stats { return s.stats }
+
+// Device implements wl.Scheme.
+func (s *Scheme) Device() *pcm.Device { return s.dev }
+
+// CheckInvariants implements wl.Checker (trivially: there is no state).
+func (s *Scheme) CheckInvariants() error { return nil }

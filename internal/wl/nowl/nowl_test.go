@@ -1,0 +1,70 @@
+package nowl
+
+import (
+	"testing"
+
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+func TestConformance(t *testing.T) {
+	wltest.Run(t, func(tb testing.TB, seed uint64) wl.Scheme {
+		return New(wltest.NewDevice(tb, 256, seed))
+	})
+}
+
+func TestIdentityMapping(t *testing.T) {
+	dev := wltest.NewDevice(t, 16, 1)
+	s := New(dev)
+	s.Write(7, 99)
+	if dev.Wear(7) != 1 {
+		t.Fatalf("wear landed on wrong page: wear(7) = %d", dev.Wear(7))
+	}
+	if dev.Peek(7) != 99 {
+		t.Fatal("payload not at identity-mapped page")
+	}
+}
+
+func TestNoSwapsEver(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 2)
+	s := New(dev)
+	for i := 0; i < 100000; i++ {
+		if cost := s.Write(i%64, uint64(i)); cost.Blocked || cost.DeviceWrites != 1 {
+			t.Fatalf("NOWL produced a non-trivial write cost: %+v", cost)
+		}
+	}
+	if st := s.Stats(); st.Swaps != 0 || st.SwapWrites != 0 {
+		t.Fatalf("NOWL reported swaps: %+v", st)
+	}
+}
+
+func TestRepeatWriteKillsOnePage(t *testing.T) {
+	// Under NOWL a repeat write wears out the targeted page after exactly
+	// its endurance — the "worn out quickly" bar of Figure 6.
+	dev := wltest.NewDeviceEndurance(t, 16, 1000, 3)
+	s := New(dev)
+	target := 5
+	writes := 0
+	for {
+		s.Write(target, 1)
+		writes++
+		if _, failed := dev.Failed(); failed {
+			break
+		}
+		if writes > 10000 {
+			t.Fatal("page did not wear out")
+		}
+	}
+	if uint64(writes) != dev.Endurance(target) {
+		t.Fatalf("wore out after %d writes, endurance is %d", writes, dev.Endurance(target))
+	}
+	if page, _ := dev.Failed(); page != target {
+		t.Fatalf("failed page %d, want %d", page, target)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(wltest.NewDevice(t, 4, 1)).Name() != "NOWL" {
+		t.Fatal("name mismatch")
+	}
+}

@@ -1,0 +1,199 @@
+package od3p
+
+import (
+	"testing"
+
+	"twl/internal/pcm"
+	"twl/internal/rng"
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+func build(tb testing.TB, seed uint64) wl.Scheme {
+	s, err := New(wltest.NewDevice(tb, 256, seed), DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	wltest.Run(t, build)
+}
+
+func TestValidation(t *testing.T) {
+	dev := wltest.NewDevice(t, 8, 1)
+	if _, err := New(dev, Config{MaxHosted: 0}); err == nil {
+		t.Fatal("zero MaxHosted accepted")
+	}
+}
+
+func fixedDevice(t *testing.T, endurance []uint64) *pcm.Device {
+	t.Helper()
+	geom := pcm.Geometry{Pages: len(endurance), PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	dev, err := pcm.NewDevice(geom, pcm.DefaultTiming(), endurance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestSurvivesFirstFailure: after the weak page fails, its owner keeps
+// working (reads return the latest data) and the write stress moves to the
+// strongest healthy page.
+func TestSurvivesFirstFailure(t *testing.T) {
+	dev := fixedDevice(t, []uint64{3, 1000, 2000, 4000})
+	s, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust page 0 (endurance 3).
+	for i := 0; i < 3; i++ {
+		s.Write(0, uint64(100+i))
+	}
+	if _, failed := dev.Failed(); !failed {
+		t.Fatal("setup: page 0 should have failed")
+	}
+	// Further writes to la 0 must succeed and read back correctly.
+	s.Write(0, 999)
+	if v, _ := s.Read(0); v != 999 {
+		t.Fatalf("post-failure Read(0) = %d, want 999", v)
+	}
+	if s.Pairings() != 1 {
+		t.Fatalf("pairings = %d, want 1", s.Pairings())
+	}
+	// The partner must be the strongest page (endurance 4000 = page 3) and
+	// its own owner's data must be intact.
+	s.Write(3, 777)
+	if v, _ := s.Read(3); v != 777 {
+		t.Fatalf("partner's own data clobbered: %d", v)
+	}
+	if v, _ := s.Read(0); v != 999 {
+		t.Fatalf("relocated data lost after partner write: %d", v)
+	}
+	// Wear for la 0's writes lands on page 3.
+	if dev.Wear(3) < 2 {
+		t.Fatalf("partner wear %d; stress not redirected", dev.Wear(3))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairsAfterPartnerFailure: when a partner dies, a fresh one takes
+// over and data survives the chain.
+func TestRepairsAfterPartnerFailure(t *testing.T) {
+	// Endurances chosen so the first partner (the strongest page) also
+	// wears out, forcing a re-pairing.
+	dev := fixedDevice(t, []uint64{2, 5, 6, 7})
+	s, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.Write(0, uint64(i))
+		if s.Exhausted() {
+			break
+		}
+	}
+	if s.Pairings() < 2 {
+		t.Fatalf("pairings = %d, want a re-pairing after partner death", s.Pairings())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHostingLimit: with MaxHosted 1, two failed pages get distinct
+// partners.
+func TestHostingLimit(t *testing.T) {
+	dev := fixedDevice(t, []uint64{2, 2, 1000, 900})
+	s, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Write(0, 1)
+		s.Write(1, 2)
+	}
+	if s.buddy[0] == s.buddy[1] {
+		t.Fatalf("both failed pages share partner %d despite MaxHosted 1", s.buddy[0])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExhaustion: when every page is dead or hosting, the scheme reports
+// exhaustion instead of hiding it.
+func TestExhaustion(t *testing.T) {
+	dev := fixedDevice(t, []uint64{2, 2, 4, 4})
+	s, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorshift(1)
+	for i := 0; i < 200 && !s.Exhausted(); i++ {
+		s.Write(src.Intn(4), uint64(i))
+	}
+	if !s.Exhausted() {
+		t.Fatal("exhaustion never reported on a 4-page array with tiny endurance")
+	}
+	if s.CapacityLost() == 0 {
+		t.Fatal("capacity loss not reported")
+	}
+}
+
+// TestGracefulDegradationBeatsFirstFailureMetric: OD3P keeps serving far
+// more demand writes after the first failure than before it — the whole
+// point of the scheme.
+func TestGracefulDegradationBeatsFirstFailureMetric(t *testing.T) {
+	end, err := pcmEndurance(256, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := fixedDevice(t, end)
+	s, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concentrated traffic: 16 hot pages wear out early while the rest of
+	// the array stays healthy — the regime OD3P is built for.
+	src := rng.NewXorshift(9)
+	firstFailure := uint64(0)
+	var total uint64
+	for total = 0; total < 5_000_000; total++ {
+		s.Write(src.Intn(16), total)
+		if _, failed := dev.Failed(); failed && firstFailure == 0 {
+			firstFailure = total
+		}
+		if s.CapacityLost() > 0.25 {
+			break
+		}
+	}
+	if firstFailure == 0 {
+		t.Fatal("no failure occurred")
+	}
+	if total < 2*firstFailure {
+		t.Fatalf("served only %d writes vs first failure at %d; no graceful degradation",
+			total, firstFailure)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pcmEndurance builds a Gaussian endurance map without importing pv in
+// every test (thin wrapper for readability).
+func pcmEndurance(pages int, mean float64, seed uint64) ([]uint64, error) {
+	g := rng.NewGaussian(rng.NewXorshift(seed))
+	out := make([]uint64, pages)
+	for i := range out {
+		v := g.Sample(mean, 0.11*mean)
+		if v < 1 {
+			v = 1
+		}
+		out[i] = uint64(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package secref
+
+import (
+	"testing"
+
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+func build(tb testing.TB, seed uint64) wl.Scheme {
+	s, err := New(wltest.NewDevice(tb, 256, seed), DefaultConfig(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	wltest.Run(t, build)
+}
+
+func TestValidation(t *testing.T) {
+	dev := wltest.NewDevice(t, 256, 1)
+	bad := []Config{
+		{Regions: 0, RefreshInterval: 10},
+		{Regions: 1, RefreshInterval: 0},
+		{Regions: 3, RefreshInterval: 10},  // 3 doesn't divide 256
+		{Regions: 16, RefreshInterval: 10}, // region size 16 is fine...
+	}
+	for i, cfg := range bad[:3] {
+		if _, err := New(dev, cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := New(dev, bad[3]); err != nil {
+		t.Errorf("16 regions of 16 pages rejected: %v", err)
+	}
+	odd := wltest.NewDevice(t, 192, 1) // region size 192 not a power of two
+	if _, err := New(odd, Config{Regions: 1, RefreshInterval: 10}); err == nil {
+		t.Error("non-power-of-two region size accepted")
+	}
+}
+
+func TestMultiRegion(t *testing.T) {
+	dev := wltest.NewDevice(t, 256, 2)
+	s, err := New(dev, Config{Regions: 4, RefreshInterval: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes to region 2 must stay within region 2's physical range.
+	for i := 0; i < 10000; i++ {
+		s.Write(128+i%64, uint64(i))
+	}
+	for p := 0; p < 128; p++ {
+		if dev.Wear(p) != 0 {
+			t.Fatalf("write to region 2 wore page %d in another region", p)
+		}
+	}
+	for p := 192; p < 256; p++ {
+		if dev.Wear(p) != 0 {
+			t.Fatalf("write to region 2 wore page %d in region 3", p)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefreshRandomizesMapping: after enough refresh rounds, a hammered
+// logical address must have visited many physical pages.
+func TestRefreshRandomizesMapping(t *testing.T) {
+	dev := wltest.NewDevice(t, 128, 3)
+	s, err := New(dev, Config{Regions: 1, RefreshInterval: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 100000
+	for i := 0; i < writes; i++ {
+		s.Write(9, uint64(i))
+	}
+	worn := 0
+	for p := 0; p < 128; p++ {
+		if dev.Wear(p) > 0 {
+			worn++
+		}
+	}
+	if worn < 64 {
+		t.Fatalf("repeat write touched only %d/128 pages; SR not randomizing", worn)
+	}
+}
+
+// TestUniformWearUnderRepeat: SR levels wear toward uniform — the max page
+// wear stays within a small multiple of the mean.
+func TestUniformWearUnderRepeat(t *testing.T) {
+	dev := wltest.NewDevice(t, 128, 4)
+	s, err := New(dev, Config{Regions: 1, RefreshInterval: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 300000
+	for i := 0; i < writes; i++ {
+		s.Write(50, uint64(i))
+	}
+	sum := dev.Summary()
+	mean := float64(sum.TotalWear) / 128
+	if float64(sum.MaxWear) > 4*mean {
+		t.Fatalf("max wear %d > 4× mean %.0f; SR not leveling", sum.MaxWear, mean)
+	}
+}
+
+func TestSwapOverheadMatchesInterval(t *testing.T) {
+	// Steady-state maintenance: each refresh step swaps a pair with
+	// probability ~1/2 (partner >= o), costing 2 writes → ~1/RefreshInterval
+	// extra writes per demand write.
+	dev := wltest.NewDevice(t, 256, 5)
+	interval := 64
+	s, err := New(dev, Config{Regions: 1, RefreshInterval: interval, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 500000
+	for i := 0; i < writes; i++ {
+		s.Write(i%256, uint64(i))
+	}
+	ratio := s.Stats().SwapWriteRatio()
+	want := 1.0 / float64(interval)
+	if ratio < want/2 || ratio > want*2 {
+		t.Fatalf("swap-write ratio %v, want ~%v", ratio, want)
+	}
+}
+
+func TestMappingBijectionMidSweep(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 6)
+	s, err := New(dev, Config{Regions: 1, RefreshInterval: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the invariant at every point of a few full sweeps.
+	for i := 0; i < 64*4; i++ {
+		s.Write(i%64, uint64(i))
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("after write %d: %v", i, err)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if build(t, 1).Name() != "SR" {
+		t.Fatal("name mismatch")
+	}
+}

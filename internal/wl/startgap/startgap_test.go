@@ -1,0 +1,184 @@
+package startgap
+
+import (
+	"math"
+	"testing"
+
+	"twl/internal/rng"
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+func build(tb testing.TB, seed uint64) wl.Scheme {
+	s, err := New(wltest.NewDevice(tb, 257, seed), DefaultConfig(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	wltest.Run(t, build)
+}
+
+func TestValidation(t *testing.T) {
+	dev := wltest.NewDevice(t, 8, 1)
+	if _, err := New(dev, Config{GapInterval: 0}); err == nil {
+		t.Fatal("zero gap interval accepted")
+	}
+	small := wltest.NewDevice(t, 2, 1)
+	if _, err := New(small, DefaultConfig(1)); err != nil {
+		t.Fatalf("2-page device rejected: %v", err)
+	}
+}
+
+func TestLogicalPages(t *testing.T) {
+	s := build(t, 1).(*Scheme)
+	if s.LogicalPages() != 256 {
+		t.Fatalf("LogicalPages = %d, want 256 (one page is the gap)", s.LogicalPages())
+	}
+}
+
+func TestGapMovesEveryInterval(t *testing.T) {
+	dev := wltest.NewDevice(t, 33, 2)
+	s, err := New(dev, Config{GapInterval: 10, Randomize: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		if cost := s.Write(0, 1); cost.Blocked {
+			t.Fatalf("write %d blocked before gap interval", i)
+		}
+	}
+	cost := s.Write(0, 1)
+	if !cost.Blocked || cost.DeviceWrites != 2 {
+		t.Fatalf("10th write cost %+v, want blocked gap move (2 writes)", cost)
+	}
+	if s.Stats().Swaps != 1 {
+		t.Fatalf("Swaps = %d, want 1", s.Stats().Swaps)
+	}
+}
+
+// TestUniformWearUnderRepeat: Start-Gap's whole point — a repeat write
+// spreads over the array as the gap rotates pages through the hot slot.
+func TestUniformWearUnderRepeat(t *testing.T) {
+	const pages = 65
+	dev := wltest.NewDevice(t, pages, 3)
+	s, err := New(dev, Config{GapInterval: 4, Randomize: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough writes for many full gap rotations: one rotation takes
+	// pages × GapInterval writes.
+	const writes = 200000
+	for i := 0; i < writes; i++ {
+		s.Write(7, uint64(i))
+	}
+	// Max page wear should be far below the NOWL value (= writes) —
+	// within a small multiple of the uniform share.
+	var maxWear uint64
+	for p := 0; p < pages; p++ {
+		if w := dev.Wear(p); w > maxWear {
+			maxWear = w
+		}
+	}
+	uniform := float64(dev.TotalWrites()) / pages
+	if float64(maxWear) > 3*uniform {
+		t.Fatalf("max wear %d exceeds 3× uniform share %.0f; gap not leveling", maxWear, uniform)
+	}
+}
+
+// TestRotationPeriod: after pages × GapInterval writes the gap completes a
+// rotation and total swap writes equal writes/GapInterval.
+func TestRotationPeriod(t *testing.T) {
+	dev := wltest.NewDevice(t, 17, 4)
+	s, err := New(dev, Config{GapInterval: 5, Randomize: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 5 * 17 * 10
+	for i := 0; i < writes; i++ {
+		s.Write(i%16, uint64(i))
+	}
+	if got, want := s.Stats().SwapWrites, uint64(writes/5); got != want {
+		t.Fatalf("SwapWrites = %d, want %d", got, want)
+	}
+}
+
+func TestRandomizationSpreadsNeighbors(t *testing.T) {
+	// With randomization, logically adjacent pages should not be physically
+	// adjacent in general.
+	dev := wltest.NewDevice(t, 1025, 5)
+	s, err := New(dev, DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjacent := 0
+	for la := 0; la < 100; la++ {
+		a := s.randomized(la)
+		b := s.randomized(la + 1)
+		if int(math.Abs(float64(a-b))) == 1 {
+			adjacent++
+		}
+	}
+	if adjacent > 50 {
+		t.Fatalf("%d/100 logical neighbors stayed physical neighbors", adjacent)
+	}
+}
+
+func TestRandomizedIsBijective(t *testing.T) {
+	s := build(t, 9).(*Scheme)
+	seen := make([]bool, s.LogicalPages())
+	for la := 0; la < s.LogicalPages(); la++ {
+		r := s.randomized(la)
+		if seen[r] {
+			t.Fatalf("randomization collision at %d", la)
+		}
+		seen[r] = true
+	}
+}
+
+func TestLifetimeBeatsNOWLUnderRepeat(t *testing.T) {
+	// Endurance ~2000: NOWL dies after ~2000 repeat writes; Start-Gap must
+	// survive far longer.
+	dev := wltest.NewDeviceEndurance(t, 65, 2000, 6)
+	s, err := New(dev, Config{GapInterval: 8, Randomize: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for {
+		s.Write(3, 1)
+		writes++
+		if _, failed := dev.Failed(); failed {
+			break
+		}
+		if writes > 10_000_000 {
+			break
+		}
+	}
+	if writes < 10*2000 {
+		t.Fatalf("Start-Gap died after %d repeat writes — barely better than NOWL", writes)
+	}
+}
+
+func TestReadAfterRotation(t *testing.T) {
+	dev := wltest.NewDevice(t, 9, 7)
+	s, err := New(dev, Config{GapInterval: 2, Randomize: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorshift(1)
+	shadow := map[int]uint64{}
+	for i := 0; i < 5000; i++ {
+		la := src.Intn(8)
+		tag := src.Uint64()
+		s.Write(la, tag)
+		shadow[la] = tag
+	}
+	for la, want := range shadow {
+		if got, _ := s.Read(la); got != want {
+			t.Fatalf("Read(%d) = %d, want %d", la, got, want)
+		}
+	}
+}

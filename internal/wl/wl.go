@@ -1,0 +1,126 @@
+// Package wl defines the wear-leveling scheme interface shared by the
+// paper's contribution (internal/core) and every baseline (nowl, startgap,
+// secref, wrl, bwl), together with the cost/statistics plumbing the
+// simulator uses for lifetime (Figures 6–8) and performance (Figure 9)
+// experiments.
+//
+// A Scheme sits between the memory controller's request queues and the PCM
+// array: it translates logical page addresses to physical pages, applies
+// wear to the device, and occasionally performs internal swaps. Swaps block
+// the memory — the property the paper's attacker exploits to detect swap
+// phases by timing (Section 3.1, footnote 1) — so every operation reports
+// its full latency.
+package wl
+
+import (
+	"fmt"
+	"sort"
+
+	"twl/internal/pcm"
+)
+
+// Cost describes what one logical request cost the machine.
+type Cost struct {
+	// DeviceWrites is the number of physical page writes performed
+	// (1 for a plain write; more when the scheme swapped pages).
+	DeviceWrites int
+	// DeviceReads is the number of physical page reads performed
+	// (migration reads during swaps, plus the demand read for Read).
+	DeviceReads int
+	// ExtraCycles is controller overhead outside the PCM array: table
+	// lookups, RNG evaluation, Bloom-filter probes, sorting stalls.
+	ExtraCycles int
+	// Blocked reports that the request was delayed behind an internal
+	// maintenance operation (swap phase). Attackers detect this.
+	Blocked bool
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.DeviceWrites += o.DeviceWrites
+	c.DeviceReads += o.DeviceReads
+	c.ExtraCycles += o.ExtraCycles
+	c.Blocked = c.Blocked || o.Blocked
+}
+
+// Cycles converts the cost to CPU cycles under timing t.
+func (c Cost) Cycles(t pcm.Timing) int64 {
+	return int64(c.DeviceWrites)*int64(t.WriteCycles()) +
+		int64(c.DeviceReads)*int64(t.ReadCycles) +
+		int64(c.ExtraCycles)
+}
+
+// Stats aggregates scheme activity over a run.
+type Stats struct {
+	DemandWrites uint64 // logical writes served
+	DemandReads  uint64 // logical reads served
+	SwapWrites   uint64 // device writes caused by internal swaps/migrations
+	Swaps        uint64 // internal swap operations
+	TossUps      uint64 // toss-up evaluations (TWL only)
+}
+
+// SwapWriteRatio returns swap writes per demand write — the Figure 7a
+// metric.
+func (s Stats) SwapWriteRatio() float64 {
+	if s.DemandWrites == 0 {
+		return 0
+	}
+	return float64(s.SwapWrites) / float64(s.DemandWrites)
+}
+
+// Scheme is a wear-leveling scheme bound to a PCM device.
+type Scheme interface {
+	// Name identifies the scheme in reports ("NOWL", "SR", "BWL", "TWL_swp"…).
+	Name() string
+	// Write serves a logical page write carrying the payload tag.
+	Write(la int, tag uint64) Cost
+	// Read serves a logical page read, returning the payload last written
+	// to la.
+	Read(la int) (uint64, Cost)
+	// Stats returns the accumulated activity counters.
+	Stats() Stats
+	// Device returns the underlying PCM array.
+	Device() *pcm.Device
+}
+
+// Checker is implemented by schemes that can verify their internal
+// invariants (mapping bijectivity, pairing involution). The simulator's
+// paranoid mode and the integration tests call it.
+type Checker interface {
+	CheckInvariants() error
+}
+
+// Latency constants for controller-side structures, from Table 1
+// ("TWL control logic latency / table latency: 5/10-cycle, RNG latency:
+// 4-cycle"). The baselines reuse the table latency for their own metadata
+// structures so the Figure 9 comparison is apples-to-apples.
+const (
+	TableCycles   = 10 // one metadata-table access
+	ControlCycles = 5  // scheme control logic
+	RNGCycles     = 4  // random-number generation
+)
+
+// Factory builds a scheme over a device; registries in the cmd tools use
+// this to select schemes by name.
+type Factory func(dev *pcm.Device, seed uint64) (Scheme, error)
+
+// SortByEndurance returns page indices sorted by ascending endurance
+// (weakest first). Shared by WRL's swap phase and TWL's strong-weak pairing.
+func SortByEndurance(endurance []uint64) []int {
+	idx := make([]int, len(endurance))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return endurance[idx[a]] < endurance[idx[b]]
+	})
+	return idx
+}
+
+// ValidateLA bounds-checks a logical address against the device.
+func ValidateLA(dev *pcm.Device, la int) error {
+	if la < 0 || la >= dev.Pages() {
+		return fmt.Errorf("wl: logical address %d out of range [0,%d)", la, dev.Pages())
+	}
+	return nil
+}

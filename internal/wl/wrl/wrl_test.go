@@ -1,0 +1,181 @@
+package wrl
+
+import (
+	"testing"
+
+	"twl/internal/pcm"
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+func build(tb testing.TB, seed uint64) wl.Scheme {
+	dev := wltest.NewDevice(tb, 256, seed)
+	s, err := New(dev, Config{PredictionWrites: 2048, RunningMultiplier: 10, MaxSwapFraction: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	wltest.Run(t, build)
+}
+
+func TestValidation(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 1)
+	bad := []Config{
+		{PredictionWrites: 0, RunningMultiplier: 10, MaxSwapFraction: 1},
+		{PredictionWrites: 100, RunningMultiplier: 0, MaxSwapFraction: 1},
+		{PredictionWrites: 100, RunningMultiplier: 10, MaxSwapFraction: 0},
+		{PredictionWrites: 100, RunningMultiplier: 10, MaxSwapFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(dev, cfg); err == nil {
+			t.Errorf("case %d: %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestHotMapsToStrong is the Figure 1 scenario: after a prediction phase in
+// which one address dominates, the swap phase must map it to the strongest
+// physical page.
+func TestHotMapsToStrong(t *testing.T) {
+	geom := pcm.Geometry{Pages: 4, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	// Endurances as in Figure 1: PA1..PA4 = 40, 60, 80, 120.
+	dev, err := pcm.NewDevice(geom, pcm.DefaultTiming(), []uint64{40, 60, 80, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dev, Config{PredictionWrites: 19, RunningMultiplier: 10, MaxSwapFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction-phase traffic of Figure 1b: LA1×9, LA2×4, LA3×4, LA4×2.
+	for i := 0; i < 9; i++ {
+		s.Write(0, 100)
+	}
+	for i := 0; i < 4; i++ {
+		s.Write(1, 200)
+	}
+	for i := 0; i < 4; i++ {
+		s.Write(2, 300)
+	}
+	for i := 0; i < 2; i++ {
+		s.Write(3, 400)
+	}
+	// The 19th write ended the prediction phase and ran the swap. LA1 (hot)
+	// must now be on PA4 (endurance 120) and LA4 (cold) on PA1 (40) — the
+	// Figure 1c state.
+	if got := s.rt.Phys(0); got != 3 {
+		t.Fatalf("hot LA1 mapped to PA%d, want PA4 (index 3)", got+1)
+	}
+	if got := s.rt.Phys(3); got != 0 {
+		t.Fatalf("cold LA4 mapped to PA%d, want PA1 (index 0)", got+1)
+	}
+	// Data must have moved with the remap.
+	if v, _ := s.Read(0); v != 100 {
+		t.Fatalf("LA1 data = %d, want 100", v)
+	}
+	if v, _ := s.Read(3); v != 400 {
+		t.Fatalf("LA4 data = %d, want 400", v)
+	}
+}
+
+func TestSwapPhaseBlocks(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 2)
+	s, err := New(dev, Config{PredictionWrites: 100, RunningMultiplier: 10, MaxSwapFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockedAt := -1
+	for i := 0; i < 100; i++ {
+		// Skewed traffic so the swap phase has real work.
+		la := i % 8
+		if cost := s.Write(la, uint64(i)); cost.Blocked {
+			blockedAt = i
+		}
+	}
+	if blockedAt != 99 {
+		t.Fatalf("swap phase blocked at write %d, want 99 (end of prediction)", blockedAt)
+	}
+}
+
+func TestPhaseCycle(t *testing.T) {
+	dev := wltest.NewDevice(t, 64, 3)
+	s, err := New(dev, Config{PredictionWrites: 50, RunningMultiplier: 2, MaxSwapFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full cycle = 50 prediction + 100 running; the next blocked write
+	// (swap) should occur at write 150 + 50 = 200... i.e. writes 50 and 200
+	// are the swap triggers (1-indexed).
+	blocked := []int{}
+	for i := 1; i <= 400; i++ {
+		if cost := s.Write(i%16, uint64(i)); cost.Blocked {
+			blocked = append(blocked, i)
+		}
+	}
+	if len(blocked) < 2 {
+		t.Fatalf("expected at least 2 swap phases in 400 writes, got %v", blocked)
+	}
+	if blocked[0] != 50 {
+		t.Fatalf("first swap at write %d, want 50", blocked[0])
+	}
+	if blocked[1] != 200 {
+		t.Fatalf("second swap at write %d, want 200 (50 + 100 running + 50 prediction)", blocked[1])
+	}
+}
+
+// TestConsistentWorkloadProtectsWeakPages: with a consistent hot set, weak
+// pages end up with cold data and accumulate little wear — WRL working as
+// designed.
+func TestConsistentWorkloadProtectsWeakPages(t *testing.T) {
+	dev := wltest.NewDevice(t, 128, 4)
+	s, err := New(dev, Config{PredictionWrites: 1024, RunningMultiplier: 10, MaxSwapFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90% of writes hit 8 hot addresses, consistently.
+	for i := 0; i < 300000; i++ {
+		var la int
+		if i%10 != 0 {
+			la = i % 8
+		} else {
+			la = 8 + (i/10)%120
+		}
+		s.Write(la, uint64(i))
+	}
+	// The weakest pages should carry much-below-average wear.
+	weakest := wl.SortByEndurance(dev.EnduranceMap())[:8]
+	var weakWear, total uint64
+	for _, p := range weakest {
+		weakWear += dev.Wear(p)
+	}
+	total = dev.TotalWrites()
+	meanWear := float64(total) / 128
+	weakMean := float64(weakWear) / 8
+	if weakMean > meanWear {
+		t.Fatalf("weak pages wear %.0f not below array mean %.0f under consistent load",
+			weakMean, meanWear)
+	}
+}
+
+func TestPartialSwapFraction(t *testing.T) {
+	dev := wltest.NewDevice(t, 128, 5)
+	s, err := New(dev, Config{PredictionWrites: 256, RunningMultiplier: 5, MaxSwapFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		s.Write(i%32, uint64(i))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if build(t, 1).Name() != "WRL" {
+		t.Fatal("name mismatch")
+	}
+}

@@ -1,0 +1,74 @@
+package twl
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Experiment grids (Figures 6 and 8) are embarrassingly parallel: every
+// cell simulates an independent device, scheme and workload. runCells
+// executes a fixed-size task list on up to GOMAXPROCS workers; results are
+// written into caller-indexed slots, so the outcome is bit-identical to the
+// sequential order regardless of scheduling.
+
+// cellTask is one independent simulation producing a value for slot i.
+type cellTask func() error
+
+// runCells runs tasks concurrently and returns the first error (if any).
+func runCells(tasks []cellTask) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	grab := func() (cellTask, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= len(tasks) {
+			return nil, false
+		}
+		t := tasks[next]
+		next++
+		return t, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := grab()
+				if !ok {
+					return
+				}
+				if err := t(); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}

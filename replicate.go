@@ -1,0 +1,88 @@
+package twl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Replication runs an experiment across independent seeds and aggregates
+// the result — the error bars the paper omits. Every randomized input
+// (endurance map, scheme RNGs, workload) derives from the per-run seed, so
+// runs are fully independent.
+
+// ReplicateResult aggregates a replicated scalar measurement.
+type ReplicateResult struct {
+	Runs   int
+	Values []float64
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Replicate runs measure over n independently seeded systems derived from
+// base (seeds base.Seed, base.Seed+1, …) and aggregates the returned
+// scalar.
+func Replicate(base SystemConfig, n int, measure func(sys SystemConfig) (float64, error)) (ReplicateResult, error) {
+	if n <= 0 {
+		return ReplicateResult{}, errors.New("twl: Replicate needs n > 0")
+	}
+	res := ReplicateResult{Runs: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sys := base
+		sys.Seed = base.Seed + uint64(i)
+		v, err := measure(sys)
+		if err != nil {
+			return ReplicateResult{}, fmt.Errorf("twl: replicate run %d: %w", i, err)
+		}
+		res.Values = append(res.Values, v)
+		sum += v
+		if v < res.Min {
+			res.Min = v
+		}
+		if v > res.Max {
+			res.Max = v
+		}
+	}
+	res.Mean = sum / float64(n)
+	varsum := 0.0
+	for _, v := range res.Values {
+		d := v - res.Mean
+		varsum += d * d
+	}
+	res.StdDev = math.Sqrt(varsum / float64(n))
+	return res, nil
+}
+
+// ReplicateAttackLifetime replicates one Figure 6 cell: the normalized
+// lifetime of scheme under mode, across n seeds.
+func ReplicateAttackLifetime(base SystemConfig, n int, scheme string, mode AttackMode) (ReplicateResult, error) {
+	return Replicate(base, n, func(sys SystemConfig) (float64, error) {
+		res, err := RunFig6(sys, Fig6Config{
+			Schemes:              []string{scheme},
+			Modes:                []AttackMode{mode},
+			BandwidthBytesPerSec: Fig6AttackBandwidth,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Cells[scheme][mode.String()].Normalized, nil
+	})
+}
+
+// ReplicateBenchmarkLifetime replicates one Figure 8 cell: the normalized
+// lifetime of scheme on the named benchmark, across n seeds.
+func ReplicateBenchmarkLifetime(base SystemConfig, n int, scheme, benchmark string) (ReplicateResult, error) {
+	return Replicate(base, n, func(sys SystemConfig) (float64, error) {
+		res, err := RunFig8(sys, Fig8Config{
+			Schemes:    []string{scheme},
+			Benchmarks: []string{benchmark},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Rows[0].Normalized[scheme], nil
+	})
+}

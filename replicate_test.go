@@ -1,0 +1,67 @@
+package twl
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	base := SmallSystem(10)
+	calls := 0
+	res, err := Replicate(base, 4, func(sys SystemConfig) (float64, error) {
+		calls++
+		return float64(sys.Seed - base.Seed), nil // 0,1,2,3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || res.Runs != 4 {
+		t.Fatalf("calls=%d runs=%d", calls, res.Runs)
+	}
+	if res.Mean != 1.5 || res.Min != 0 || res.Max != 3 {
+		t.Fatalf("mean/min/max = %v/%v/%v", res.Mean, res.Min, res.Max)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(res.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev %v, want %v", res.StdDev, want)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate(SmallSystem(1), 0, nil); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	wantErr := errors.New("boom")
+	_, err := Replicate(SmallSystem(1), 2, func(SystemConfig) (float64, error) { return 0, wantErr })
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+// TestReplicateAttackLifetimeStable: TWL's immunity is not a seed artifact
+// — across seeds the inconsistent-attack lifetime has a tight spread and
+// every run clears SR-level performance.
+func TestReplicateAttackLifetimeStable(t *testing.T) {
+	res, err := ReplicateAttackLifetime(SmallSystem(100), 5, "TWL_swp", AttackInconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min < 0.4 {
+		t.Fatalf("worst seed normalized %v; immunity not robust (values %v)", res.Min, res.Values)
+	}
+	if res.StdDev > 0.15 {
+		t.Fatalf("spread too wide: %+v", res)
+	}
+}
+
+func TestReplicateBenchmarkLifetime(t *testing.T) {
+	res, err := ReplicateBenchmarkLifetime(SmallSystem(200), 3, "NOWL", "canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NOWL on canneal is calibrated to the Table 2 ratio ~0.017.
+	if res.Mean < 0.005 || res.Mean > 0.06 {
+		t.Fatalf("NOWL canneal mean %v outside the calibrated band", res.Mean)
+	}
+}

@@ -1,0 +1,262 @@
+// Package twl is the public API of the Toss-up Wear Leveling reproduction
+// (Zhang & Sun, "Toss-up Wear Leveling: Protecting Phase-Change Memories
+// from Inconsistent Write Patterns", DAC 2017).
+//
+// The package exposes three layers:
+//
+//   - System construction: build a PCM device with a process-variation
+//     endurance map (SystemConfig) and attach any of the implemented
+//     wear-leveling schemes to it (NewScheme) — TWL itself plus the
+//     baselines the paper compares against (NOWL, Security Refresh,
+//     Bloom-filter WL, Wear Rate Leveling, Start-Gap).
+//   - Workloads: the four wear-out attacks of Section 5.2 (NewAttack) and
+//     synthetic PARSEC benchmarks calibrated to Table 2 (NewWorkload).
+//   - Experiments: one-call runners that regenerate every table and figure
+//     of the evaluation (RunTable2, RunFig6, RunFig7, RunFig8, RunFig9,
+//     HardwareCost) — see experiments.go and EXPERIMENTS.md.
+//
+// All randomness is seeded; every result in this package is reproducible.
+package twl
+
+import (
+	"fmt"
+	"strings"
+
+	"twl/internal/attack"
+	"twl/internal/core"
+	"twl/internal/detect"
+	"twl/internal/pcm"
+	"twl/internal/pv"
+	"twl/internal/sim"
+	"twl/internal/trace"
+	"twl/internal/wl"
+	"twl/internal/wl/bwl"
+	"twl/internal/wl/nowl"
+	"twl/internal/wl/od3p"
+	"twl/internal/wl/rbsg"
+	"twl/internal/wl/secref"
+	"twl/internal/wl/startgap"
+	"twl/internal/wl/wrl"
+)
+
+// Re-exported core types, so API users can name them without reaching into
+// internal packages.
+type (
+	// Scheme is a wear-leveling scheme bound to a PCM device.
+	Scheme = wl.Scheme
+	// Cost is the per-request cost report (device writes/reads, controller
+	// cycles, blocking).
+	Cost = wl.Cost
+	// SchemeStats aggregates scheme activity (demand writes, swaps, …).
+	SchemeStats = wl.Stats
+	// Device is the PCM array model.
+	Device = pcm.Device
+	// Geometry is the PCM array organization.
+	Geometry = pcm.Geometry
+	// Timing is the PCM latency model.
+	Timing = pcm.Timing
+	// AttackMode selects one of the four Figure 6 attacks.
+	AttackMode = attack.Mode
+	// Benchmark is a Table 2 PARSEC workload description.
+	Benchmark = trace.Benchmark
+	// LifetimeResult summarizes a run-to-first-failure experiment.
+	LifetimeResult = sim.LifetimeResult
+	// PerfResult summarizes a normalized-execution-time experiment.
+	PerfResult = sim.PerfResult
+	// TWLConfig parameterizes the TWL engine directly.
+	TWLConfig = core.Config
+	// TWLEngine is the TWL scheme with its full API (PartnerOf, Config, …).
+	TWLEngine = core.Engine
+)
+
+// Attack modes (Figure 6).
+const (
+	AttackRepeat       = attack.Repeat
+	AttackRandom       = attack.Random
+	AttackScan         = attack.Scan
+	AttackInconsistent = attack.Inconsistent
+)
+
+// TWL pairing policies.
+const (
+	PairStrongWeak = core.StrongWeak
+	PairAdjacent   = core.Adjacent
+	PairRandom     = core.Random
+)
+
+// SystemConfig describes the simulated PCM system. The zero value is not
+// valid; start from DefaultSystem.
+type SystemConfig struct {
+	// Pages is the simulated array size in pages. Experiments run on a
+	// scaled array (see DESIGN.md); the full-size geometry is used only for
+	// ideal-lifetime conversion.
+	Pages int
+	// PageSize in bytes (Table 1: 4096).
+	PageSize int
+	// MeanEndurance is the scaled mean endurance in writes.
+	MeanEndurance float64
+	// SigmaFraction is the endurance standard deviation as a fraction of
+	// the mean (Section 5.1: 0.11).
+	SigmaFraction float64
+	// Seed drives the endurance map and every scheme RNG derived from it.
+	Seed uint64
+}
+
+// DefaultSystem returns the default scaled system: 2048 pages with mean
+// endurance 20000 — small enough that a full lifetime run finishes in
+// seconds, large enough that the endurance distribution and pairing
+// statistics are faithful. Endurance is kept ~10× the page count so that
+// sweep-based schemes (Security Refresh) can complete leveling rounds well
+// within a page's life, as they do at full scale; see EXPERIMENTS.md.
+func DefaultSystem(seed uint64) SystemConfig {
+	return SystemConfig{
+		Pages:         2048,
+		PageSize:      4096,
+		MeanEndurance: 20000,
+		SigmaFraction: 0.11,
+		Seed:          seed,
+	}
+}
+
+// SmallSystem returns a reduced configuration used by the Go benchmark
+// harness (bench_test.go) so that every figure regenerates in a few
+// seconds. The endurance/page ratio matches DefaultSystem.
+func SmallSystem(seed uint64) SystemConfig {
+	return SystemConfig{
+		Pages:         512,
+		PageSize:      4096,
+		MeanEndurance: 5000,
+		SigmaFraction: 0.11,
+		Seed:          seed,
+	}
+}
+
+// NewDevice builds the PCM device for the configuration.
+func (c SystemConfig) NewDevice() (*Device, error) {
+	if c.Pages <= 0 {
+		return nil, fmt.Errorf("twl: Pages must be positive, got %d", c.Pages)
+	}
+	end, err := pv.Generate(pv.Config{
+		Pages: c.Pages,
+		Mean:  c.MeanEndurance,
+		Sigma: c.SigmaFraction * c.MeanEndurance,
+		Model: pv.Gaussian,
+		Seed:  c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	geom := pcm.Geometry{
+		Pages:    c.Pages,
+		PageSize: c.PageSize,
+		LineSize: 128,
+		Ranks:    4,
+		Banks:    32,
+	}
+	return pcm.NewDevice(geom, pcm.DefaultTiming(), end)
+}
+
+// SchemeNames lists the scheme identifiers accepted by NewScheme, in the
+// order the paper's figures present them.
+func SchemeNames() []string {
+	return []string{"BWL", "SR", "TWL_ap", "TWL_swp", "NOWL", "TWL_rand", "WRL", "StartGap", "OD3P", "RBSG"}
+}
+
+// NewScheme constructs a wear-leveling scheme by name over dev. Recognized
+// names (case-insensitive): NOWL, SR, BWL, WRL, StartGap, TWL_swp (or TWL),
+// TWL_ap, TWL_rand.
+func NewScheme(name string, dev *Device, seed uint64) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "nowl":
+		return nowl.New(dev), nil
+	case "sr":
+		return secref.New(dev, secref.DefaultConfig(seed))
+	case "sr2":
+		// Two-level Security Refresh at full-scale leveling rates (the
+		// lifetime experiments rescale the intervals to the simulated
+		// endurance; see lifetimeScheme in experiments.go).
+		return secref.NewTwoLevel(dev, secref.DefaultTwoLevelConfig(dev.Pages(), 1e8, seed))
+	case "bwl":
+		return bwl.New(dev, bwl.DefaultConfig(dev.Pages(), seed))
+	case "wrl":
+		return wrl.New(dev, wrl.DefaultConfig(dev.Pages()))
+	case "startgap", "start-gap", "sg":
+		return startgap.New(dev, startgap.DefaultConfig(seed))
+	case "od3p":
+		return od3p.New(dev, od3p.DefaultConfig())
+	case "rbsg":
+		return rbsg.New(dev, rbsg.DefaultConfig(dev.Pages(), seed))
+	case "twl", "twl_swp":
+		return core.New(dev, core.DefaultConfig(seed))
+	case "twl_ap":
+		cfg := core.DefaultConfig(seed)
+		cfg.Pairing = core.Adjacent
+		return core.New(dev, cfg)
+	case "twl_rand":
+		cfg := core.DefaultConfig(seed)
+		cfg.Pairing = core.Random
+		return core.New(dev, cfg)
+	default:
+		return nil, fmt.Errorf("twl: unknown scheme %q (known: %s)",
+			name, strings.Join(SchemeNames(), ", "))
+	}
+}
+
+// NewTWL constructs a TWL engine with an explicit configuration, for users
+// who want direct control over pairing, intervals and RNG choice.
+func NewTWL(dev *Device, cfg TWLConfig) (*TWLEngine, error) {
+	return core.New(dev, cfg)
+}
+
+// DefaultTWLConfig returns the paper's evaluation configuration for TWL:
+// strong-weak pairing, toss-up interval 32, inter-pair swap interval 128,
+// Feistel RNG.
+func DefaultTWLConfig(seed uint64) TWLConfig { return core.DefaultConfig(seed) }
+
+// Detector re-exports the online malicious-write-stream detector (the
+// defense direction of the paper's reference [11]); see internal/detect.
+type Detector = detect.Detector
+
+// NewDetector builds a write-stream attack detector with thresholds scaled
+// to the logical page count.
+func NewDetector(pages int) (*Detector, error) {
+	return detect.New(detect.DefaultConfig(pages))
+}
+
+// NewAttack constructs one of the Figure 6 attack streams over a system's
+// logical space, wrapped as a simulation request source.
+func NewAttack(mode AttackMode, pages int, seed uint64) (sim.Source, error) {
+	st, err := attack.New(attack.DefaultConfig(mode, pages, seed))
+	if err != nil {
+		return nil, err
+	}
+	return sim.FromAttack(st), nil
+}
+
+// Benchmarks returns the Table 2 PARSEC workload descriptions.
+func Benchmarks() []Benchmark { return trace.PARSEC() }
+
+// BenchmarkByName returns the Table 2 entry for name.
+func BenchmarkByName(name string) (Benchmark, error) { return trace.BenchmarkByName(name) }
+
+// NewWorkload constructs a synthetic benchmark request source over pages
+// logical pages, calibrated to the benchmark's Table 2 characteristics.
+func NewWorkload(bench Benchmark, pages int, seed uint64) (sim.Source, error) {
+	g, err := trace.NewSynthetic(bench, pages, seed)
+	if err != nil {
+		return nil, err
+	}
+	return sim.FromWorkload(g), nil
+}
+
+// RunLifetime drives src through s until the first page failure and returns
+// the summary. See sim.RunLifetime.
+func RunLifetime(s Scheme, src sim.Source) (LifetimeResult, error) {
+	return sim.RunLifetime(s, src, sim.LifetimeConfig{})
+}
+
+// IdealYears returns the full-size system's ideal lifetime in years at the
+// given write bandwidth, using the paper's Table 2 calibration.
+func IdealYears(bytesPerSecond float64) float64 {
+	return sim.IdealYears(pcm.DefaultGeometry(), 1e8, bytesPerSecond)
+}

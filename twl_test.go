@@ -1,0 +1,160 @@
+package twl
+
+import (
+	"strings"
+	"testing"
+
+	"twl/internal/attack"
+)
+
+func TestDefaultSystemDevice(t *testing.T) {
+	sys := DefaultSystem(1)
+	dev, err := sys.NewDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Pages() != sys.Pages {
+		t.Fatalf("pages = %d, want %d", dev.Pages(), sys.Pages)
+	}
+	// Endurance map must match the configured distribution roughly.
+	var sum float64
+	for p := 0; p < dev.Pages(); p++ {
+		sum += float64(dev.Endurance(p))
+	}
+	mean := sum / float64(dev.Pages())
+	if mean < 0.95*sys.MeanEndurance || mean > 1.05*sys.MeanEndurance {
+		t.Fatalf("mean endurance %v, want ~%v", mean, sys.MeanEndurance)
+	}
+}
+
+func TestSystemConfigValidation(t *testing.T) {
+	bad := SystemConfig{Pages: 0, PageSize: 4096, MeanEndurance: 1000, SigmaFraction: 0.1}
+	if _, err := bad.NewDevice(); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+}
+
+func TestNewSchemeAllNames(t *testing.T) {
+	sys := SmallSystem(2)
+	for _, name := range SchemeNames() {
+		dev, err := sys.NewDevice()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheme(name, dev, 7)
+		if err != nil {
+			t.Fatalf("NewScheme(%q): %v", name, err)
+		}
+		// Smoke: a write lands and reads back.
+		s.Write(3, 42)
+		if v, _ := s.Read(3); v != 42 {
+			t.Fatalf("%s: read-back failed", name)
+		}
+	}
+	// Aliases and case-insensitivity.
+	for _, alias := range []string{"twl", "TWL", "sg", "start-gap", "SR2"} {
+		dev, _ := sys.NewDevice()
+		if _, err := NewScheme(alias, dev, 1); err != nil {
+			t.Errorf("alias %q rejected: %v", alias, err)
+		}
+	}
+	dev, _ := sys.NewDevice()
+	if _, err := NewScheme("bogus", dev, 1); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestNewTWLDirectConfig(t *testing.T) {
+	sys := SmallSystem(3)
+	dev, err := sys.NewDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TWLConfig{Pairing: PairAdjacent, TossUpInterval: 16, InterPairSwapInterval: 64, Seed: 5, UseFeistel: true}
+	e, err := NewTWL(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Config().TossUpInterval != 16 {
+		t.Fatal("config not honored")
+	}
+	if !strings.HasPrefix(e.Name(), "TWL_") {
+		t.Fatalf("name %q", e.Name())
+	}
+}
+
+func TestNewAttackAllModes(t *testing.T) {
+	for _, mode := range []AttackMode{AttackRepeat, AttackRandom, AttackScan, AttackInconsistent} {
+		src, err := NewAttack(mode, 128, 1)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for i := 0; i < 100; i++ {
+			addr, write := src.Next(attack.Feedback{})
+			if !write {
+				t.Fatalf("mode %v produced a read", mode)
+			}
+			if addr < 0 || addr >= 128 {
+				t.Fatalf("mode %v address %d out of range", mode, addr)
+			}
+		}
+	}
+}
+
+func TestBenchmarksAPI(t *testing.T) {
+	if len(Benchmarks()) != 13 {
+		t.Fatalf("Benchmarks() = %d entries, want 13", len(Benchmarks()))
+	}
+	b, err := BenchmarkByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewWorkload(b, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for i := 0; i < 1000; i++ {
+		addr, w := src.Next(attack.Feedback{})
+		if addr < 0 || addr >= 256 {
+			t.Fatalf("workload address %d out of range", addr)
+		}
+		if w {
+			writes++
+		}
+	}
+	if writes == 0 || writes == 1000 {
+		t.Fatalf("workload produced %d/1000 writes; expected a mix", writes)
+	}
+}
+
+func TestRunLifetimeFacade(t *testing.T) {
+	sys := SmallSystem(5)
+	dev, err := sys.NewDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheme("NOWL", dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewAttack(AttackRepeat, sys.Pages, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLifetime(s, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped || res.Normalized <= 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestIdealYearsFacade(t *testing.T) {
+	// Figure 6's constant: 8 GB/s → ~6.6 years.
+	y := IdealYears(8e9)
+	if y < 6.2 || y > 7.0 {
+		t.Fatalf("IdealYears(8GB/s) = %v, want ~6.6", y)
+	}
+}
