@@ -1,0 +1,20 @@
+# Tier-1 verification (referenced from ROADMAP.md): formatting, static
+# analysis, build and the full race-enabled test suite.
+.PHONY: check fmt vet build test
+
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...

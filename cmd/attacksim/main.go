@@ -14,23 +14,46 @@ import (
 	"os"
 
 	"twl"
+	"twl/internal/obs"
 	"twl/internal/report"
 )
 
 func main() {
 	var (
-		fig6      = flag.Bool("fig6", false, "run the Figure 6 attack grid")
-		fig7      = flag.Bool("fig7", false, "run the Figure 7 interval sweep")
-		pages     = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
-		endurance = flag.Float64("endurance", 0, "mean endurance (default: DefaultSystem)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		requests  = flag.Int("requests", 0, "Figure 7a requests per benchmark (default 300000)")
-		replicate = flag.Int("replicate", 0, "replicate the Figure 6 TWL/BWL inconsistent cells over N seeds and report mean±std")
+		fig6       = flag.Bool("fig6", false, "run the Figure 6 attack grid")
+		fig7       = flag.Bool("fig7", false, "run the Figure 7 interval sweep")
+		pages      = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
+		endurance  = flag.Float64("endurance", 0, "mean endurance (default: DefaultSystem)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		requests   = flag.Int("requests", 0, "Figure 7a requests per benchmark (default 300000)")
+		replicate  = flag.Int("replicate", 0, "replicate the Figure 6 TWL/BWL inconsistent cells over N seeds and report mean±std")
+		metrics    = flag.Bool("metrics", false, "print a metrics report (grid-cell timing, worker utilization) after the runs")
+		traceFile  = flag.String("trace", "", "write per-cell JSONL trace events to this file")
+		traceEvery = flag.Uint64("trace-every", 0, "in-run progress event cadence (0: default)")
+		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
 	if !*fig6 && !*fig7 {
 		*fig6 = true
 		*fig7 = true
+	}
+
+	if *pprofPfx != "" {
+		stop, err := obs.StartProfile(*pprofPfx)
+		fatal(err)
+		defer func() { fatal(stop()) }()
+	}
+	var reg *twl.MetricsRegistry
+	if *metrics {
+		reg = twl.NewMetrics()
+	}
+	var tr *twl.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		fatal(err)
+		defer func() { fatal(f.Close()) }()
+		tr = twl.NewRunTracer(f, *traceEvery)
+		defer func() { fatal(tr.Err()) }()
 	}
 
 	sys := twl.DefaultSystem(*seed)
@@ -42,7 +65,7 @@ func main() {
 	}
 
 	if *fig6 {
-		runFig6(sys)
+		runFig6(sys, reg, tr)
 	}
 	if *fig7 {
 		cfg := twl.DefaultFig7Config()
@@ -53,6 +76,10 @@ func main() {
 	}
 	if *replicate > 0 {
 		runReplicate(sys, *replicate)
+	}
+	if reg != nil {
+		fmt.Println()
+		fatal(reg.WriteText(os.Stdout))
 	}
 }
 
@@ -66,8 +93,11 @@ func runReplicate(sys twl.SystemConfig, n int) {
 	}
 }
 
-func runFig6(sys twl.SystemConfig) {
-	res, err := twl.RunFig6(sys, twl.DefaultFig6Config())
+func runFig6(sys twl.SystemConfig, reg *twl.MetricsRegistry, tr *twl.Tracer) {
+	cfg := twl.DefaultFig6Config()
+	cfg.Metrics = reg
+	cfg.Trace = tr
+	res, err := twl.RunFig6(sys, cfg)
 	fatal(err)
 	tb := report.NewTable(
 		fmt.Sprintf("Figure 6 — lifetime under attacks (years; ideal = %.2f y at 8 GB/s)", res.IdealYears),

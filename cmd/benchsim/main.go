@@ -15,23 +15,46 @@ import (
 	"strings"
 
 	"twl"
+	"twl/internal/obs"
 	"twl/internal/report"
 )
 
 func main() {
 	var (
-		table2    = flag.Bool("table2", false, "regenerate Table 2")
-		fig8      = flag.Bool("fig8", false, "regenerate Figure 8")
-		fig9      = flag.Bool("fig9", false, "regenerate Figure 9")
-		pages     = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
-		endurance = flag.Float64("endurance", 0, "mean endurance (default: DefaultSystem)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		benches   = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		requests  = flag.Int("requests", 0, "Figure 9 requests per benchmark (default 1e6)")
+		table2     = flag.Bool("table2", false, "regenerate Table 2")
+		fig8       = flag.Bool("fig8", false, "regenerate Figure 8")
+		fig9       = flag.Bool("fig9", false, "regenerate Figure 9")
+		pages      = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
+		endurance  = flag.Float64("endurance", 0, "mean endurance (default: DefaultSystem)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		requests   = flag.Int("requests", 0, "Figure 9 requests per benchmark (default 1e6)")
+		metrics    = flag.Bool("metrics", false, "print a metrics report (cell timing, per-scheme latency histograms) after the runs")
+		traceFile  = flag.String("trace", "", "write per-cell JSONL trace events to this file")
+		traceEvery = flag.Uint64("trace-every", 0, "in-run progress event cadence (0: default)")
+		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
 	if !*table2 && !*fig8 && !*fig9 {
 		*table2, *fig8, *fig9 = true, true, true
+	}
+
+	if *pprofPfx != "" {
+		stop, err := obs.StartProfile(*pprofPfx)
+		fatal(err)
+		defer func() { fatal(stop()) }()
+	}
+	var reg *twl.MetricsRegistry
+	if *metrics {
+		reg = twl.NewMetrics()
+	}
+	var tr *twl.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		fatal(err)
+		defer func() { fatal(f.Close()) }()
+		tr = twl.NewRunTracer(f, *traceEvery)
+		defer func() { fatal(tr.Err()) }()
 	}
 
 	sys := twl.DefaultSystem(*seed)
@@ -52,15 +75,22 @@ func main() {
 	if *fig8 {
 		cfg := twl.DefaultFig8Config()
 		cfg.Benchmarks = subset
+		cfg.Metrics = reg
+		cfg.Trace = tr
 		runFig8(sys, cfg)
 	}
 	if *fig9 {
 		cfg := twl.DefaultFig9Config()
 		cfg.Benchmarks = subset
+		cfg.Metrics = reg
 		if *requests > 0 {
 			cfg.Requests = *requests
 		}
 		runFig9(sys, cfg)
+	}
+	if reg != nil {
+		fmt.Println()
+		fatal(reg.WriteText(os.Stdout))
 	}
 }
 

@@ -16,21 +16,30 @@ import (
 	"os"
 	"sort"
 
+	"twl/internal/obs"
 	"twl/internal/report"
 	"twl/internal/trace"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "canneal", "PARSEC benchmark (Table 2 name)")
-		n       = flag.Int("n", 1_000_000, "number of records to generate")
-		pages   = flag.Int("pages", 2048, "logical page count")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		binary  = flag.Bool("binary", false, "write the compact binary format")
-		out     = flag.String("o", "", "output file (default stdout)")
-		inspect = flag.String("inspect", "", "inspect an existing trace file instead of generating")
+		bench    = flag.String("bench", "canneal", "PARSEC benchmark (Table 2 name)")
+		n        = flag.Int("n", 1_000_000, "number of records to generate")
+		pages    = flag.Int("pages", 2048, "logical page count")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		binary   = flag.Bool("binary", false, "write the compact binary format")
+		out      = flag.String("o", "", "output file (default stdout)")
+		inspect  = flag.String("inspect", "", "inspect an existing trace file instead of generating")
+		metrics  = flag.Bool("metrics", false, "print a record-count metrics report to stderr after generating")
+		pprofPfx = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
+
+	if *pprofPfx != "" {
+		stop, err := obs.StartProfile(*pprofPfx)
+		fatal(err)
+		defer func() { fatal(stop()) }()
+	}
 
 	if *inspect != "" {
 		fatal(inspectTrace(*inspect, *binary))
@@ -50,18 +59,42 @@ func main() {
 		w = f
 	}
 
+	var sink func(trace.Record) error
+	var flush func() error
+	var count func() int
 	if *binary {
 		bw := trace.NewBinaryWriter(w)
-		fatal(g.Generate(*n, bw.Write))
-		fatal(bw.Flush())
-		fmt.Fprintf(os.Stderr, "tracegen: %d binary records (%s, %d pages, zipf s=%.3f)\n",
-			bw.Count(), b.Name, *pages, g.Exponent())
+		sink, flush, count = bw.Write, bw.Flush, bw.Count
 	} else {
 		tw := trace.NewWriter(w)
-		fatal(g.Generate(*n, tw.Write))
-		fatal(tw.Flush())
-		fmt.Fprintf(os.Stderr, "tracegen: %d text records (%s, %d pages, zipf s=%.3f)\n",
-			tw.Count(), b.Name, *pages, g.Exponent())
+		sink, flush, count = tw.Write, tw.Flush, tw.Count
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		reg.Help("twl_trace_records_total", "trace records generated, by op")
+		writes := reg.Counter("twl_trace_records_total", obs.L("op", "write"))
+		reads := reg.Counter("twl_trace_records_total", obs.L("op", "read"))
+		inner := sink
+		sink = func(rec trace.Record) error {
+			if rec.Op == trace.Write {
+				writes.Inc()
+			} else {
+				reads.Inc()
+			}
+			return inner(rec)
+		}
+	}
+	fatal(g.Generate(*n, sink))
+	fatal(flush())
+	format := "text"
+	if *binary {
+		format = "binary"
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d %s records (%s, %d pages, zipf s=%.3f)\n",
+		count(), format, b.Name, *pages, g.Exponent())
+	if reg != nil {
+		fatal(reg.WriteText(os.Stderr))
 	}
 }
 

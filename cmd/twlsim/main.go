@@ -6,6 +6,9 @@
 //
 //	twlsim -scheme TWL_swp -attack inconsistent
 //	twlsim -scheme BWL -bench canneal -pages 4096 -endurance 40000
+//	twlsim -scheme TWL_swp -attack scan -metrics     # append a metrics report
+//	twlsim -scheme SR -attack repeat -trace run.jsonl -trace-every 50000
+//	twlsim -bench vips -pprof prof                   # prof.cpu.pprof + prof.heap.pprof
 //	twlsim -config                      # print the simulated configuration
 package main
 
@@ -13,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"twl"
 	"twl/internal/attack"
+	"twl/internal/obs"
 	"twl/internal/pcm"
 	"twl/internal/report"
 	"twl/internal/sim"
@@ -34,12 +39,22 @@ func main() {
 		config     = flag.Bool("config", false, "print the simulated configuration and exit")
 		paranoid   = flag.Bool("paranoid", false, "check scheme invariants during the run")
 		heatmap    = flag.Bool("heatmap", false, "print the final wear heatmap (wear/endurance per page)")
+		metrics    = flag.Bool("metrics", false, "print a metrics report (request counters, latency histogram) after the run")
+		traceFile  = flag.String("trace", "", "write structured JSONL progress events to this file")
+		traceEvery = flag.Uint64("trace-every", 0, "emit a trace progress event every N demand writes (0: default)")
+		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
 
 	if *config {
 		printConfig()
 		return
+	}
+
+	if *pprofPfx != "" {
+		stop, err := obs.StartProfile(*pprofPfx)
+		fatal(err)
+		defer func() { fatal(stop()) }()
 	}
 
 	sys := twl.DefaultSystem(*seed)
@@ -87,6 +102,17 @@ func main() {
 	if *paranoid {
 		cfg.CheckEvery = 100000
 	}
+	if *metrics {
+		cfg.Metrics = twl.NewMetrics()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		fatal(err)
+		defer func() { fatal(f.Close()) }()
+		tr := twl.NewRunTracer(f, *traceEvery)
+		cfg.Trace = tr
+		defer func() { fatal(tr.Err()) }()
+	}
 	res, err := sim.RunLifetime(s, src, cfg)
 	fatal(err)
 
@@ -113,6 +139,11 @@ func main() {
 		fmt.Println()
 		fatal(report.NewHeatmap("Wear / endurance by physical page", fractions, 64).Render(os.Stdout))
 	}
+
+	if cfg.Metrics != nil {
+		fmt.Println()
+		fatal(cfg.Metrics.WriteText(os.Stdout))
+	}
 }
 
 func printConfig() {
@@ -129,8 +160,12 @@ func printConfig() {
 	tb.AddRowf("TWL inter-pair swap interval", "128")
 	tb.AddRowf("TWL toss-up interval", "32")
 	tb.AddRowf("RNG / control / table latency", "4 / 5 / 10 cycles")
-	tb.AddRowf("schemes", "BWL, SR, SR2, TWL_swp, TWL_ap, TWL_rand, WRL, StartGap, NOWL")
+	tb.AddRowf("schemes", strings.Join(twl.SchemeNames(), ", "))
 	tb.Render(os.Stdout)
+	fmt.Println()
+	for _, d := range twl.SchemeDocs() {
+		fmt.Println("  " + d)
+	}
 }
 
 func parseMode(s string) (attack.Mode, error) {

@@ -94,6 +94,11 @@ type Fig6Config struct {
 	Modes []AttackMode
 	// BandwidthBytesPerSec converts normalized lifetime to years.
 	BandwidthBytesPerSec float64
+	// Metrics, when non-nil, receives per-cell timing and worker
+	// utilization for the grid run.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives one event per completed cell.
+	Trace *Tracer
 }
 
 // DefaultFig6Config returns the paper's Figure 6 setup.
@@ -153,7 +158,7 @@ func RunFig6(sys SystemConfig, cfg Fig6Config) (*Fig6Result, error) {
 		grid[i] = make([]Fig6Cell, len(cfg.Modes))
 		for j, mode := range cfg.Modes {
 			i, j, name, mode := i, j, name, mode
-			tasks = append(tasks, func() error {
+			tasks = append(tasks, cellTask{name: fmt.Sprintf("fig6/%s/%v", name, mode), run: func() error {
 				dev, err := sys.NewDevice()
 				if err != nil {
 					return err
@@ -178,10 +183,10 @@ func RunFig6(sys SystemConfig, cfg Fig6Config) (*Fig6Result, error) {
 					Seconds:    res.Years(ideal) * sim.SecondsPerYear,
 				}
 				return nil
-			})
+			}})
 		}
 	}
-	if err := runCells(tasks); err != nil {
+	if err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
 		return nil, err
 	}
 	for i, name := range cfg.Schemes {
@@ -326,6 +331,11 @@ type Fig8Config struct {
 	Schemes []string
 	// Benchmarks (default: all of PARSEC).
 	Benchmarks []string
+	// Metrics, when non-nil, receives per-cell timing and worker
+	// utilization for the grid run.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives one event per completed cell.
+	Trace *Tracer
 }
 
 // DefaultFig8Config returns the paper's Figure 8 setup.
@@ -373,7 +383,7 @@ func RunFig8(sys SystemConfig, cfg Fig8Config) (*Fig8Result, error) {
 		grid[i] = make([]float64, len(cfg.Schemes))
 		for j, name := range cfg.Schemes {
 			i, j, bn, name, b := i, j, bn, name, b
-			tasks = append(tasks, func() error {
+			tasks = append(tasks, cellTask{name: fmt.Sprintf("fig8/%s/%s", bn, name), run: func() error {
 				dev, err := sys.NewDevice()
 				if err != nil {
 					return err
@@ -392,10 +402,10 @@ func RunFig8(sys SystemConfig, cfg Fig8Config) (*Fig8Result, error) {
 				}
 				grid[i][j] = res.Normalized
 				return nil
-			})
+			}})
 		}
 	}
-	if err := runCells(tasks); err != nil {
+	if err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
 		return nil, err
 	}
 	out := &Fig8Result{Mean: map[string]float64{}}
@@ -426,6 +436,9 @@ type Fig9Config struct {
 	Benchmarks []string
 	// Requests per benchmark per scheme.
 	Requests int
+	// Metrics, when non-nil, receives scheme-labeled per-request latency
+	// histograms and blocked-request counters from every measurement run.
+	Metrics *MetricsRegistry
 }
 
 // DefaultFig9Config returns the paper's Figure 9 setup.
@@ -471,7 +484,7 @@ func RunFig9(sys SystemConfig, cfg Fig9Config) (*Fig9Result, error) {
 	perfSys := sys
 	perfSys.MeanEndurance = math.Max(sys.MeanEndurance, 100*float64(cfg.Requests)/float64(sys.Pages))
 
-	perfCfg := sim.PerfConfig{Requests: cfg.Requests, MaxBandwidthMBps: 3309}
+	perfCfg := sim.PerfConfig{Requests: cfg.Requests, MaxBandwidthMBps: 3309, Metrics: cfg.Metrics}
 	out := &Fig9Result{Mean: map[string]float64{}}
 	sums := map[string]float64{}
 	for _, bn := range benchNames {

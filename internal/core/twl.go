@@ -29,7 +29,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"twl/internal/pcm"
@@ -137,17 +136,17 @@ var _ wl.Checker = (*Engine)(nil)
 // New builds a TWL engine over dev.
 func New(dev *pcm.Device, cfg Config) (*Engine, error) {
 	if dev.Pages()%2 != 0 {
-		return nil, errors.New("core: TWL needs an even page count to form pairs")
+		return nil, fmt.Errorf("core: TWL needs an even page count to form pairs: %w", wl.ErrBadConfig)
 	}
 	if cfg.TossUpInterval < 1 || cfg.TossUpInterval > tables.MaxInterval {
-		return nil, fmt.Errorf("core: TossUpInterval %d outside [1,%d]",
-			cfg.TossUpInterval, tables.MaxInterval)
+		return nil, fmt.Errorf("core: TossUpInterval %d outside [1,%d]: %w",
+			cfg.TossUpInterval, tables.MaxInterval, wl.ErrBadConfig)
 	}
 	if cfg.InterPairSwapInterval < 0 {
-		return nil, errors.New("core: InterPairSwapInterval must be >= 0")
+		return nil, fmt.Errorf("core: InterPairSwapInterval must be >= 0: %w", wl.ErrBadConfig)
 	}
 	if cfg.ETNoiseSigma < 0 {
-		return nil, errors.New("core: ETNoiseSigma must be >= 0")
+		return nil, fmt.Errorf("core: ETNoiseSigma must be >= 0: %w", wl.ErrBadConfig)
 	}
 	e := &Engine{
 		dev:      dev,
@@ -234,7 +233,7 @@ func buildPairs(et []uint64, cfg Config) (*tables.PairTable, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown pairing policy %v", cfg.Pairing)
+		return nil, fmt.Errorf("core: unknown pairing policy %v: %w", cfg.Pairing, wl.ErrBadConfig)
 	}
 	return pt, nil
 }
@@ -365,4 +364,36 @@ func (e *Engine) CheckInvariants() error {
 			got, e.stats.DemandWrites, e.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:    "TWL_swp",
+		Aliases: []string{"TWL"},
+		Order:   40,
+		Doc:     "toss-up wear leveling, strong-weak pairing (the paper's contribution)",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig(seed))
+		},
+	})
+	wl.Register(wl.Registration{
+		Name:  "TWL_ap",
+		Order: 30,
+		Doc:   "toss-up wear leveling, adjacent pairing",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			cfg := DefaultConfig(seed)
+			cfg.Pairing = Adjacent
+			return New(dev, cfg)
+		},
+	})
+	wl.Register(wl.Registration{
+		Name:  "TWL_rand",
+		Order: 60,
+		Doc:   "toss-up wear leveling, random pairing",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			cfg := DefaultConfig(seed)
+			cfg.Pairing = Random
+			return New(dev, cfg)
+		},
+	})
 }

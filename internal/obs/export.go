@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a float the way Prometheus clients do: shortest exact
+// representation, +Inf for the overflow bucket bound.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders a human-readable metrics report, one series per line in
+// registration order; histograms expand into per-bucket lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	ms, help := r.snapshot()
+	if _, err := fmt.Fprintf(w, "metrics report (%d series)\n", len(ms)); err != nil {
+		return err
+	}
+	width := 0
+	for _, m := range ms {
+		if n := len(seriesKey(m.name, m.labels)); n > width {
+			width = n
+		}
+	}
+	lastHelped := ""
+	for _, m := range ms {
+		key := seriesKey(m.name, m.labels)
+		if h := help[m.name]; h != "" && m.name != lastHelped {
+			if _, err := fmt.Fprintf(w, "# %s\n", h); err != nil {
+				return err
+			}
+			lastHelped = m.name
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%-*s  %d\n", width, key, m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%-*s  %s\n", width, key, formatFloat(m.gauge.Value()))
+		case kindHistogram:
+			s := m.histogram.Snapshot()
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.Sum / float64(s.Count)
+			}
+			if _, err = fmt.Fprintf(w, "%-*s  count=%d sum=%s mean=%.1f\n",
+				width, key, s.Count, formatFloat(s.Sum), mean); err != nil {
+				return err
+			}
+			err = writeTextBuckets(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTextBuckets renders a histogram's buckets with proportional bars.
+func writeTextBuckets(w io.Writer, s HistogramSnapshot) error {
+	var max uint64
+	for _, c := range s.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range s.Counts {
+		bound := "+Inf"
+		if i < len(s.Bounds) {
+			bound = formatFloat(s.Bounds[i])
+		}
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(c*40/max))
+		}
+		if _, err := fmt.Fprintf(w, "    le %-10s %10d  %s\n", bound, c, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonMetric is the JSON export shape of one series.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Help   string            `json:"help,omitempty"`
+
+	// Counter/gauge value.
+	Value *float64 `json:"value,omitempty"`
+
+	// Histogram fields.
+	Count   *uint64      `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+// jsonBucket is one histogram bucket; the +Inf bucket sets Inf instead of
+// LE because JSON has no infinity literal.
+type jsonBucket struct {
+	LE    float64 `json:"le,omitempty"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// WriteJSON renders the registry as a JSON array of series in registration
+// order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	ms, help := r.snapshot()
+	out := make([]jsonMetric, 0, len(ms))
+	for _, m := range ms {
+		jm := jsonMetric{Name: m.name, Kind: m.kind.String(), Help: help[m.name]}
+		if len(m.labels) > 0 {
+			jm.Labels = map[string]string{}
+			for _, l := range m.labels {
+				jm.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			v := float64(m.counter.Value())
+			jm.Value = &v
+		case kindGauge:
+			v := m.gauge.Value()
+			jm.Value = &v
+		case kindHistogram:
+			s := m.histogram.Snapshot()
+			jm.Count = &s.Count
+			jm.Sum = &s.Sum
+			for i, c := range s.Counts {
+				b := jsonBucket{Count: c}
+				if i < len(s.Bounds) {
+					b.LE = s.Bounds[i]
+				} else {
+					b.Inf = true
+				}
+				jm.Buckets = append(jm.Buckets, b)
+			}
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// promEscape escapes a label value for the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels renders a label set (plus an optional extra label) in
+// exposition syntax; empty set renders as "".
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, promEscape(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers followed by one sample per line,
+// histograms expanded into cumulative _bucket/_sum/_count series. Series are
+// sorted by name so all samples of a metric family are contiguous.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ms, help := r.snapshot()
+	sorted := append([]*metric(nil), ms...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	lastName := ""
+	for _, m := range sorted {
+		if m.name != lastName {
+			if h := help[m.name]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return err
+			}
+			lastName = m.name
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, promLabels(m.labels), m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, promLabels(m.labels), formatFloat(m.gauge.Value()))
+		case kindHistogram:
+			err = writePromHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m *metric) error {
+	s := m.histogram.Snapshot()
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.name, promLabels(m.labels, L("le", le)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		m.name, promLabels(m.labels), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, promLabels(m.labels), s.Count)
+	return err
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Registry {
+	r := NewRegistry()
+	r.Help("req_total", "requests served")
+	r.Counter("req_total", L("op", "write")).Add(90)
+	r.Counter("req_total", L("op", "read")).Add(10)
+	r.Gauge("utilization").Set(0.75)
+	h := r.Histogram("latency_cycles", []float64{250, 500, 1000})
+	for _, v := range []float64{100, 250, 600, 5000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// promSampleRe matches one exposition-format sample line:
+// name{label="value",...} value
+var promSampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[-+]?(Inf|[0-9].*))$`)
+
+// TestPrometheusExportParses validates the exposition output line-by-line:
+// every line is a HELP/TYPE comment or a well-formed sample, every sample's
+// value parses, histogram buckets are cumulative and agree with _count.
+func TestPrometheusExportParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		samples    int
+		lastBucket = map[string]uint64{} // histogram name -> last cumulative
+		bucketMax  = map[string]uint64{}
+	)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatal("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		samples++
+		name, value := line[:strings.IndexAny(line, "{ ")], line[strings.LastIndex(line, " ")+1:]
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			base := strings.TrimSuffix(name, "_bucket")
+			cum := uint64(v)
+			if cum < lastBucket[base] {
+				t.Fatalf("non-cumulative bucket in %q", line)
+			}
+			lastBucket[base] = cum
+			bucketMax[base] = cum
+		}
+		if strings.HasSuffix(name, "_count") {
+			base := strings.TrimSuffix(name, "_count")
+			if uint64(v) != bucketMax[base] {
+				t.Fatalf("%s_count = %v, want +Inf bucket %d", base, v, bucketMax[base])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 counters + 1 gauge + (4 buckets + sum + count) = 9 samples.
+	if samples != 9 {
+		t.Fatalf("samples = %d, want 9", samples)
+	}
+}
+
+func TestPrometheusTypeLineOncePerFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[strings.Fields(line)[2]]++
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("TYPE line for %s emitted %d times", name, n)
+		}
+	}
+	if seen["req_total"] != 1 {
+		t.Fatal("req_total family missing a TYPE line")
+	}
+}
+
+func TestJSONExportRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("JSON export has %d series, want 4", len(out))
+	}
+	byName := map[string]map[string]any{}
+	for _, m := range out {
+		byName[m["name"].(string)+m["kind"].(string)+strings.TrimSpace(
+			// labels differentiate the two req_total series
+			func() string {
+				if l, ok := m["labels"].(map[string]any); ok {
+					return l["op"].(string)
+				}
+				return ""
+			}())] = m
+	}
+	if byName["req_totalcounterwrite"]["value"].(float64) != 90 {
+		t.Fatal("write counter value wrong in JSON export")
+	}
+	hist := byName["latency_cycleshistogram"]
+	if hist["count"].(float64) != 4 {
+		t.Fatalf("histogram count = %v, want 4", hist["count"])
+	}
+	buckets := hist["buckets"].([]any)
+	if len(buckets) != 4 {
+		t.Fatalf("histogram buckets = %d, want 4", len(buckets))
+	}
+	last := buckets[3].(map[string]any)
+	if last["inf"] != true || last["count"].(float64) != 1 {
+		t.Fatalf("+Inf bucket wrong: %v", last)
+	}
+}
+
+func TestTextExportContainsSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`req_total{op=write}`, "90",
+		"utilization", "0.75",
+		"latency_cycles", "count=4",
+		"le 250", "le +Inf",
+		"# requests served",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text export missing %q:\n%s", want, out)
+		}
+	}
+}

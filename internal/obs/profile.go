@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfile begins a CPU profile at prefix.cpu.pprof and returns a stop
+// function that ends it and additionally snapshots the heap to
+// prefix.heap.pprof. The cmd tools call this behind their -pprof flag so
+// every experiment can be profiled without code changes:
+//
+//	stop, err := obs.StartProfile("run1")
+//	defer stop()
+func StartProfile(prefix string) (stop func() error, err error) {
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		runtime.GC() // settle allocations so the snapshot reflects live data
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			heap.Close()
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		return heap.Close()
+	}, nil
+}

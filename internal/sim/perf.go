@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"twl/internal/attack"
+	"twl/internal/obs"
 	"twl/internal/trace"
 	"twl/internal/wl"
 )
@@ -16,6 +17,10 @@ type PerfConfig struct {
 	// MaxBandwidthMBps anchors the memory-boundedness model (the most
 	// bandwidth-hungry benchmark in the suite; vips at 3309 MBps).
 	MaxBandwidthMBps float64
+	// Metrics, when non-nil, receives per-request latency histograms and
+	// blocked-request counters labeled by scheme and benchmark — the raw
+	// distributional material behind the Figure 9 means.
+	Metrics *obs.Registry
 }
 
 // DefaultPerfConfig returns the configuration used by the Figure 9 bench.
@@ -77,11 +82,11 @@ func RunPerf(bench trace.Benchmark, pages int, seed uint64, cfg PerfConfig,
 	if cfg.MaxBandwidthMBps <= 0 {
 		return PerfResult{}, errors.New("sim: PerfConfig.MaxBandwidthMBps must be positive")
 	}
-	mem, services, name, err := measure(bench, pages, seed, cfg.Requests, build)
+	mem, services, name, err := measure(bench, pages, seed, cfg.Requests, cfg.Metrics, build)
 	if err != nil {
 		return PerfResult{}, err
 	}
-	base, baseServices, _, err := measure(bench, pages, seed, cfg.Requests, buildBaseline)
+	base, baseServices, _, err := measure(bench, pages, seed, cfg.Requests, cfg.Metrics, buildBaseline)
 	if err != nil {
 		return PerfResult{}, err
 	}
@@ -133,14 +138,25 @@ func interarrivalCycles(bench trace.Benchmark) int64 {
 
 // measure replays the benchmark stream through a freshly built scheme and
 // returns accumulated memory cycles plus the per-request service times.
+// When reg is non-nil the scheme is wrapped with wl.Instrument, so the
+// per-request costs land in scheme-labeled histograms, and a
+// benchmark-labeled request counter tracks coverage.
 func measure(bench trace.Benchmark, pages int, seed uint64, requests int,
-	build func() (wl.Scheme, error)) (int64, []int64, string, error) {
+	reg *obs.Registry, build func() (wl.Scheme, error)) (int64, []int64, string, error) {
 	s, err := build()
 	if err != nil {
 		return 0, nil, "", err
 	}
 	if s.Device().Pages() < pages {
 		return 0, nil, "", fmt.Errorf("sim: scheme device has %d pages, need >= %d", s.Device().Pages(), pages)
+	}
+	name := s.Name()
+	var perfRequests *obs.Counter
+	if reg != nil {
+		s = wl.Instrument(s, reg)
+		reg.Help("twl_perf_requests_total", "performance-run requests, by scheme and benchmark")
+		perfRequests = reg.Counter("twl_perf_requests_total",
+			obs.L("scheme", name), obs.L("benchmark", bench.Name))
 	}
 	g, err := trace.NewSynthetic(bench, pages, seed)
 	if err != nil {
@@ -163,5 +179,8 @@ func measure(bench trace.Benchmark, pages int, seed uint64, requests int,
 		cycles += c
 		services = append(services, c)
 	}
-	return cycles, services, s.Name(), nil
+	if perfRequests != nil {
+		perfRequests.Add(uint64(requests))
+	}
+	return cycles, services, name, nil
 }

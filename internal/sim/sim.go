@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"twl/internal/attack"
+	"twl/internal/obs"
 	"twl/internal/pcm"
 	"twl/internal/trace"
 	"twl/internal/wl"
@@ -88,6 +89,69 @@ type LifetimeConfig struct {
 	// CheckEvery runs the scheme's invariant checker every N demand writes
 	// (0 disables). Paranoid mode for integration tests.
 	CheckEvery uint64
+	// Metrics, when non-nil, receives the run's counters (requests by op,
+	// blocked requests, swaps) and the per-request latency histogram.
+	// Counters accumulate, so sharing one registry across runs sums them.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured progress events: a start
+	// event, one progress event every Trace.Every() demand writes (with a
+	// wear-histogram snapshot), and an end event with the run summary.
+	Trace *obs.Tracer
+}
+
+// WearHistogramBuckets is the resolution of the wear/endurance snapshots in
+// trace progress events.
+const WearHistogramBuckets = 16
+
+// lifetimeMetrics holds the registry handles RunLifetime updates in its
+// request loop.
+type lifetimeMetrics struct {
+	writes  *obs.Counter
+	reads   *obs.Counter
+	blocked *obs.Counter
+	latency *obs.Histogram
+}
+
+func newLifetimeMetrics(reg *obs.Registry) *lifetimeMetrics {
+	reg.Help("twl_sim_requests_total", "logical requests served, by op")
+	reg.Help("twl_sim_blocked_requests_total", "requests delayed behind an internal swap phase")
+	reg.Help("twl_sim_request_cycles", "per-request latency in CPU cycles")
+	return &lifetimeMetrics{
+		writes:  reg.Counter("twl_sim_requests_total", obs.L("op", "write")),
+		reads:   reg.Counter("twl_sim_requests_total", obs.L("op", "read")),
+		blocked: reg.Counter("twl_sim_blocked_requests_total"),
+		latency: reg.Histogram("twl_sim_request_cycles", obs.DefaultLatencyBuckets()),
+	}
+}
+
+// finishLifetimeMetrics records the end-of-run aggregates.
+func finishLifetimeMetrics(reg *obs.Registry, res LifetimeResult) {
+	reg.Help("twl_sim_swaps_total", "internal swap operations performed by the scheme")
+	reg.Help("twl_sim_swap_writes_total", "device writes caused by internal swaps")
+	reg.Help("twl_sim_device_writes_total", "physical page writes applied to the array")
+	reg.Help("twl_sim_normalized_lifetime", "demand writes at first failure / total endurance")
+	reg.Counter("twl_sim_swaps_total").Add(res.Swaps)
+	reg.Counter("twl_sim_swap_writes_total").Add(res.SwapWrites)
+	reg.Counter("twl_sim_device_writes_total").Add(res.DeviceWrites)
+	reg.Gauge("twl_sim_normalized_lifetime").Set(res.Normalized)
+}
+
+// emitProgress writes one tracer progress event with current counters and a
+// wear snapshot.
+func emitProgress(tr *obs.Tracer, s wl.Scheme, demand, blocked uint64, cycles int64) {
+	st := s.Stats()
+	sum := s.Device().Summary()
+	tr.Emit("progress",
+		obs.F("demand_writes", demand),
+		obs.F("demand_reads", st.DemandReads),
+		obs.F("swaps", st.Swaps),
+		obs.F("swap_writes", st.SwapWrites),
+		obs.F("blocked", blocked),
+		obs.F("cycles", cycles),
+		obs.F("max_wear_fraction", sum.MaxFraction),
+		obs.F("mean_wear_fraction", sum.MeanFraction),
+		obs.F("wear_hist", s.Device().WearHistogram(WearHistogramBuckets)),
+	)
 }
 
 // LifetimeResult summarizes a lifetime run.
@@ -127,8 +191,23 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	timing := dev.Timing()
 	checker, _ := s.(wl.Checker)
 
+	var metrics *lifetimeMetrics
+	if cfg.Metrics != nil {
+		metrics = newLifetimeMetrics(cfg.Metrics)
+	}
+	var traceEvery uint64
+	if cfg.Trace != nil {
+		traceEvery = cfg.Trace.Every()
+		cfg.Trace.Emit("start",
+			obs.F("scheme", s.Name()),
+			obs.F("pages", dev.Pages()),
+			obs.F("total_endurance", totalEnd),
+			obs.F("max_demand_writes", limit),
+		)
+	}
+
 	var fb attack.Feedback
-	var demand uint64
+	var demand, blocked uint64
 	var cycles int64
 	res := LifetimeResult{Scheme: s.Name(), FailedPage: -1}
 	for demand < limit {
@@ -142,7 +221,25 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 		}
 		c := cost.Cycles(timing)
 		cycles += c
+		if cost.Blocked {
+			blocked++
+		}
 		fb = attack.Feedback{Blocked: cost.Blocked, Cycles: c}
+
+		if metrics != nil {
+			if write {
+				metrics.writes.Inc()
+			} else {
+				metrics.reads.Inc()
+			}
+			if cost.Blocked {
+				metrics.blocked.Inc()
+			}
+			metrics.latency.Observe(float64(c))
+		}
+		if traceEvery > 0 && write && demand%traceEvery == 0 {
+			emitProgress(cfg.Trace, s, demand, blocked, cycles)
+		}
 
 		if cfg.CheckEvery > 0 && checker != nil && demand%cfg.CheckEvery == 0 {
 			if err := checker.CheckInvariants(); err != nil {
@@ -165,6 +262,22 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	res.DeviceWrites = dev.TotalWrites()
 	res.Normalized = float64(st.DemandWrites) / float64(totalEnd)
 	res.Cycles = cycles
+	if cfg.Metrics != nil {
+		finishLifetimeMetrics(cfg.Metrics, res)
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Emit("end",
+			obs.F("scheme", res.Scheme),
+			obs.F("demand_writes", res.DemandWrites),
+			obs.F("blocked", blocked),
+			obs.F("swaps", res.Swaps),
+			obs.F("failed_page", res.FailedPage),
+			obs.F("capped", res.Capped),
+			obs.F("normalized", res.Normalized),
+			obs.F("cycles", res.Cycles),
+			obs.F("wear_hist", dev.WearHistogram(WearHistogramBuckets)),
+		)
+	}
 	return res, nil
 }
 

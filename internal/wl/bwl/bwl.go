@@ -29,7 +29,6 @@
 package bwl
 
 import (
-	"errors"
 	"fmt"
 
 	"twl/internal/bloom"
@@ -132,16 +131,16 @@ const silenceEpochs = 4
 // New builds a BWL scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	if cfg.EpochWrites <= 0 {
-		return nil, errors.New("bwl: EpochWrites must be positive")
+		return nil, fmt.Errorf("bwl: EpochWrites must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.MoveThreshold < 0 {
-		return nil, errors.New("bwl: MoveThreshold must be >= 0")
+		return nil, fmt.Errorf("bwl: MoveThreshold must be >= 0: %w", wl.ErrBadConfig)
 	}
 	if cfg.CandidateProbes <= 0 {
-		return nil, errors.New("bwl: CandidateProbes must be positive")
+		return nil, fmt.Errorf("bwl: CandidateProbes must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.ColdTrustWrites < 0 {
-		return nil, errors.New("bwl: ColdTrustWrites must be >= 0")
+		return nil, fmt.Errorf("bwl: ColdTrustWrites must be >= 0: %w", wl.ErrBadConfig)
 	}
 	cbf, err := bloom.NewCounting(cfg.FilterSlots, cfg.FilterHashes)
 	if err != nil {
@@ -379,4 +378,15 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "BWL",
+		Order: 10,
+		Doc:   "Bloom-filter dynamic wear leveling (DATE'12)",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig(dev.Pages(), seed))
+		},
+	})
 }

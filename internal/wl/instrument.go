@@ -1,0 +1,73 @@
+package wl
+
+import (
+	"twl/internal/obs"
+	"twl/internal/pcm"
+)
+
+// Instrument wraps a scheme so that every request it serves is recorded in
+// reg: per-operation counters, a blocked-request counter, and a latency
+// histogram, all labeled with the scheme name. Every baseline gets metrics
+// for free — no scheme needs its own instrumentation code.
+//
+// The wrapper preserves the Checker interface: paranoid-mode invariant
+// checks see the underlying scheme exactly as before.
+func Instrument(s Scheme, reg *obs.Registry) Scheme {
+	label := obs.L("scheme", s.Name())
+	reg.Help("twl_scheme_requests_total", "logical requests served by the scheme, by op")
+	reg.Help("twl_scheme_blocked_total", "requests delayed behind an internal swap phase")
+	reg.Help("twl_scheme_request_cycles", "per-request latency in CPU cycles")
+	w := &instrumented{
+		Scheme:  s,
+		timing:  s.Device().Timing(),
+		writes:  reg.Counter("twl_scheme_requests_total", label, obs.L("op", "write")),
+		reads:   reg.Counter("twl_scheme_requests_total", label, obs.L("op", "read")),
+		blocked: reg.Counter("twl_scheme_blocked_total", label),
+		latency: reg.Histogram("twl_scheme_request_cycles", obs.DefaultLatencyBuckets(), label),
+	}
+	if c, ok := s.(Checker); ok {
+		return &instrumentedChecker{instrumented: w, checker: c}
+	}
+	return w
+}
+
+// instrumented decorates a Scheme with metric recording.
+type instrumented struct {
+	Scheme
+	timing  pcm.Timing
+	writes  *obs.Counter
+	reads   *obs.Counter
+	blocked *obs.Counter
+	latency *obs.Histogram
+}
+
+func (w *instrumented) Write(la int, tag uint64) Cost {
+	cost := w.Scheme.Write(la, tag)
+	w.writes.Inc()
+	w.record(cost)
+	return cost
+}
+
+func (w *instrumented) Read(la int) (uint64, Cost) {
+	v, cost := w.Scheme.Read(la)
+	w.reads.Inc()
+	w.record(cost)
+	return v, cost
+}
+
+func (w *instrumented) record(cost Cost) {
+	if cost.Blocked {
+		w.blocked.Inc()
+	}
+	w.latency.Observe(float64(cost.Cycles(w.timing)))
+}
+
+// instrumentedChecker additionally forwards CheckInvariants, so wrapping a
+// Checker scheme still yields a Checker (a plain embedded Scheme interface
+// would hide it from type assertions).
+type instrumentedChecker struct {
+	*instrumented
+	checker Checker
+}
+
+func (w *instrumentedChecker) CheckInvariants() error { return w.checker.CheckInvariants() }

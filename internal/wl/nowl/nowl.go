@@ -45,3 +45,14 @@ func (s *Scheme) Device() *pcm.Device { return s.dev }
 
 // CheckInvariants implements wl.Checker (trivially: there is no state).
 func (s *Scheme) CheckInvariants() error { return nil }
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "NOWL",
+		Order: 50,
+		Doc:   "no wear leveling (identity mapping)",
+		New: func(dev *pcm.Device, _ uint64) (wl.Scheme, error) {
+			return New(dev), nil
+		},
+	})
+}

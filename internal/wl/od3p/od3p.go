@@ -18,7 +18,6 @@
 package od3p
 
 import (
-	"errors"
 	"fmt"
 
 	"twl/internal/pcm"
@@ -63,7 +62,7 @@ type Scheme struct {
 // New builds an OD3P scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	if cfg.MaxHosted <= 0 {
-		return nil, errors.New("od3p: MaxHosted must be positive")
+		return nil, fmt.Errorf("od3p: MaxHosted must be positive: %w", wl.ErrBadConfig)
 	}
 	asc := wl.SortByEndurance(dev.EnduranceMap())
 	desc := make([]int, len(asc))
@@ -215,4 +214,15 @@ func (s *Scheme) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "OD3P",
+		Order: 90,
+		Doc:   "on-demand page pairing with graceful degradation (reference [1])",
+		New: func(dev *pcm.Device, _ uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig())
+		},
+	})
 }

@@ -18,7 +18,6 @@
 package rbsg
 
 import (
-	"errors"
 	"fmt"
 
 	"twl/internal/detect"
@@ -96,26 +95,26 @@ type Scheme struct {
 // New builds the scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	if cfg.Regions <= 0 {
-		return nil, errors.New("rbsg: Regions must be positive")
+		return nil, fmt.Errorf("rbsg: Regions must be positive: %w", wl.ErrBadConfig)
 	}
 	if dev.Pages()%cfg.Regions != 0 {
-		return nil, fmt.Errorf("rbsg: %d regions do not divide %d pages", cfg.Regions, dev.Pages())
+		return nil, fmt.Errorf("rbsg: %d regions do not divide %d pages: %w", cfg.Regions, dev.Pages(), wl.ErrBadConfig)
 	}
 	size := dev.Pages() / cfg.Regions
 	if size < 2 {
-		return nil, errors.New("rbsg: regions need at least 2 pages (one is the gap)")
+		return nil, fmt.Errorf("rbsg: regions need at least 2 pages (one is the gap): %w", wl.ErrBadConfig)
 	}
 	if cfg.BaseGapInterval <= 0 {
-		return nil, errors.New("rbsg: BaseGapInterval must be positive")
+		return nil, fmt.Errorf("rbsg: BaseGapInterval must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.BoostFactor < 1 {
-		return nil, errors.New("rbsg: BoostFactor must be >= 1")
+		return nil, fmt.Errorf("rbsg: BoostFactor must be >= 1: %w", wl.ErrBadConfig)
 	}
 	if cfg.AlarmShuffleInterval == 0 {
 		cfg.AlarmShuffleInterval = 64
 	}
 	if cfg.AlarmShuffleInterval < 0 {
-		return nil, errors.New("rbsg: AlarmShuffleInterval must be >= 0")
+		return nil, fmt.Errorf("rbsg: AlarmShuffleInterval must be >= 0: %w", wl.ErrBadConfig)
 	}
 	dcfg := cfg.Detector
 	if dcfg.WindowWrites == 0 {
@@ -327,4 +326,15 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "RBSG",
+		Order: 100,
+		Doc:   "detector-adaptive region-based Start-Gap (references [7]/[11])",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig(dev.Pages(), seed))
+		},
+	})
 }

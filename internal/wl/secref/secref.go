@@ -17,7 +17,6 @@
 package secref
 
 import (
-	"errors"
 	"fmt"
 	"math/bits"
 
@@ -86,18 +85,18 @@ type Scheme struct {
 // New builds a Security Refresh scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	if cfg.Regions <= 0 {
-		return nil, errors.New("secref: Regions must be positive")
+		return nil, fmt.Errorf("secref: Regions must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.RefreshInterval <= 0 {
-		return nil, errors.New("secref: RefreshInterval must be positive")
+		return nil, fmt.Errorf("secref: RefreshInterval must be positive: %w", wl.ErrBadConfig)
 	}
 	pages := dev.Pages()
 	if pages%cfg.Regions != 0 {
-		return nil, fmt.Errorf("secref: %d regions do not divide %d pages", cfg.Regions, pages)
+		return nil, fmt.Errorf("secref: %d regions do not divide %d pages: %w", cfg.Regions, pages, wl.ErrBadConfig)
 	}
 	size := pages / cfg.Regions
 	if bits.OnesCount(uint(size)) != 1 {
-		return nil, fmt.Errorf("secref: region size %d is not a power of two", size)
+		return nil, fmt.Errorf("secref: region size %d is not a power of two: %w", size, wl.ErrBadConfig)
 	}
 	s := &Scheme{
 		dev: dev,
@@ -221,4 +220,15 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "SR",
+		Order: 20,
+		Doc:   "Security Refresh, single level (ISCA'10)",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig(seed))
+		},
+	})
 }

@@ -1,7 +1,6 @@
 package secref
 
 import (
-	"errors"
 	"fmt"
 	"math/bits"
 
@@ -91,21 +90,21 @@ type TwoLevel struct {
 // NewTwoLevel builds a two-level Security Refresh scheme over dev.
 func NewTwoLevel(dev *pcm.Device, cfg TwoLevelConfig) (*TwoLevel, error) {
 	if cfg.Regions <= 0 {
-		return nil, errors.New("secref: Regions must be positive")
+		return nil, fmt.Errorf("secref: Regions must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.InnerInterval <= 0 || cfg.OuterInterval <= 0 {
-		return nil, errors.New("secref: intervals must be positive")
+		return nil, fmt.Errorf("secref: intervals must be positive: %w", wl.ErrBadConfig)
 	}
 	pages := dev.Pages()
 	if pages%cfg.Regions != 0 {
-		return nil, fmt.Errorf("secref: %d regions do not divide %d pages", cfg.Regions, pages)
+		return nil, fmt.Errorf("secref: %d regions do not divide %d pages: %w", cfg.Regions, pages, wl.ErrBadConfig)
 	}
 	size := pages / cfg.Regions
 	if bits.OnesCount(uint(size)) != 1 {
-		return nil, fmt.Errorf("secref: region size %d is not a power of two", size)
+		return nil, fmt.Errorf("secref: region size %d is not a power of two: %w", size, wl.ErrBadConfig)
 	}
 	if bits.OnesCount(uint(pages)) != 1 {
-		return nil, fmt.Errorf("secref: two-level outer remap needs a power-of-two page count, got %d", pages)
+		return nil, fmt.Errorf("secref: two-level outer remap needs a power-of-two page count, got %d: %w", pages, wl.ErrBadConfig)
 	}
 	s := &TwoLevel{
 		dev:        dev,
@@ -260,4 +259,15 @@ func (s *TwoLevel) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "SR2",
+		Order: 110,
+		Doc:   "Security Refresh, two level, at full-scale leveling rates (lifetime experiments rescale the intervals; see lifetimeScheme in experiments.go)",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			return NewTwoLevel(dev, DefaultTwoLevelConfig(dev.Pages(), 1e8, seed))
+		},
+	})
 }

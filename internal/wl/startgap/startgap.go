@@ -18,7 +18,6 @@
 package startgap
 
 import (
-	"errors"
 	"fmt"
 
 	"twl/internal/pcm"
@@ -61,10 +60,10 @@ type Scheme struct {
 // New builds a Start-Gap scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	if dev.Pages() < 2 {
-		return nil, errors.New("startgap: need at least 2 physical pages")
+		return nil, fmt.Errorf("startgap: need at least 2 physical pages: %w", wl.ErrBadConfig)
 	}
 	if cfg.GapInterval <= 0 {
-		return nil, fmt.Errorf("startgap: GapInterval must be positive, got %d", cfg.GapInterval)
+		return nil, fmt.Errorf("startgap: GapInterval must be positive, got %d: %w", cfg.GapInterval, wl.ErrBadConfig)
 	}
 	s := &Scheme{
 		dev:     dev,
@@ -174,4 +173,16 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:    "StartGap",
+		Aliases: []string{"start-gap", "sg"},
+		Order:   80,
+		Doc:     "Start-Gap with affine address randomization (MICRO'09)",
+		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig(seed))
+		},
+	})
 }

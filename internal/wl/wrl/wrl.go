@@ -20,7 +20,6 @@
 package wrl
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -81,13 +80,13 @@ type Scheme struct {
 // New builds a WRL scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	if cfg.PredictionWrites <= 0 {
-		return nil, errors.New("wrl: PredictionWrites must be positive")
+		return nil, fmt.Errorf("wrl: PredictionWrites must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.RunningMultiplier <= 0 {
-		return nil, errors.New("wrl: RunningMultiplier must be positive")
+		return nil, fmt.Errorf("wrl: RunningMultiplier must be positive: %w", wl.ErrBadConfig)
 	}
 	if cfg.MaxSwapFraction <= 0 || cfg.MaxSwapFraction > 1 {
-		return nil, errors.New("wrl: MaxSwapFraction must be in (0,1]")
+		return nil, fmt.Errorf("wrl: MaxSwapFraction must be in (0,1]: %w", wl.ErrBadConfig)
 	}
 	asc := wl.SortByEndurance(dev.EnduranceMap())
 	desc := make([]int, len(asc))
@@ -265,4 +264,15 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+func init() {
+	wl.Register(wl.Registration{
+		Name:  "WRL",
+		Order: 70,
+		Doc:   "Wear Rate Leveling (DAC'11)",
+		New: func(dev *pcm.Device, _ uint64) (wl.Scheme, error) {
+			return New(dev, DefaultConfig(dev.Pages()))
+		},
+	})
 }

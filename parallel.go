@@ -3,6 +3,10 @@ package twl
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"twl/internal/obs"
 )
 
 // Experiment grids (Figures 6 and 8) are embarrassingly parallel: every
@@ -11,18 +15,97 @@ import (
 // written into caller-indexed slots, so the outcome is bit-identical to the
 // sequential order regardless of scheduling.
 
-// cellTask is one independent simulation producing a value for slot i.
-type cellTask func() error
+// cellTask is one independent simulation producing a value for its slot.
+// The name labels the cell in metrics and trace events ("fig6/BWL/scan").
+type cellTask struct {
+	name string
+	run  func() error
+}
+
+// cellObserver records per-cell timing and worker utilization into an obs
+// registry and/or tracer. Either may be nil; a fully nil observer adds no
+// time.Now calls to the run.
+type cellObserver struct {
+	reg     *obs.Registry
+	tr      *obs.Tracer
+	cells   *obs.Counter
+	seconds *obs.Histogram
+	busyNs  atomic.Int64
+}
+
+func newCellObserver(reg *obs.Registry, tr *obs.Tracer, workers int) *cellObserver {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	o := &cellObserver{reg: reg, tr: tr}
+	if reg != nil {
+		reg.Help("twl_cells_total", "experiment grid cells completed")
+		reg.Help("twl_cell_seconds", "wall-clock seconds per grid cell")
+		reg.Help("twl_cells_workers", "concurrent workers used for the grid")
+		reg.Help("twl_cells_utilization", "busy time / (wall time x workers) of the grid run")
+		o.cells = reg.Counter("twl_cells_total")
+		o.seconds = reg.Histogram("twl_cell_seconds", obs.ExponentialBuckets(0.001, 4, 10))
+		reg.Gauge("twl_cells_workers").Set(float64(workers))
+	}
+	return o
+}
+
+// observe wraps one task with timing.
+func (o *cellObserver) observe(t cellTask) error {
+	if o == nil {
+		return t.run()
+	}
+	start := time.Now()
+	err := t.run()
+	elapsed := time.Since(start)
+	o.busyNs.Add(int64(elapsed))
+	if o.cells != nil {
+		o.cells.Inc()
+		o.seconds.Observe(elapsed.Seconds())
+	}
+	if o.tr != nil {
+		o.tr.Emit("cell",
+			obs.F("name", t.name),
+			obs.F("seconds", elapsed.Seconds()),
+			obs.F("err", err != nil),
+		)
+	}
+	return err
+}
+
+// finish records the whole-grid utilization.
+func (o *cellObserver) finish(workers int, wall time.Duration) {
+	if o == nil || o.reg == nil || wall <= 0 || workers <= 0 {
+		return
+	}
+	busy := time.Duration(o.busyNs.Load())
+	o.reg.Gauge("twl_cells_utilization").Set(busy.Seconds() / (wall.Seconds() * float64(workers)))
+}
 
 // runCells runs tasks concurrently and returns the first error (if any).
-func runCells(tasks []cellTask) error {
+// reg and tr are optional observability sinks for per-cell timing, worker
+// count and utilization.
+func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	obsv := newCellObserver(reg, tr, workers)
+	start := time.Time{}
+	if obsv != nil {
+		start = time.Now()
+	}
+	err := dispatchCells(workers, obsv, tasks)
+	if obsv != nil {
+		obsv.finish(workers, time.Since(start))
+	}
+	return err
+}
+
+func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) error {
 	if workers <= 1 {
 		for _, t := range tasks {
-			if err := t(); err != nil {
+			if err := obsv.observe(t); err != nil {
 				return err
 			}
 		}
@@ -38,7 +121,7 @@ func runCells(tasks []cellTask) error {
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr != nil || next >= len(tasks) {
-			return nil, false
+			return cellTask{}, false
 		}
 		t := tasks[next]
 		next++
@@ -60,7 +143,7 @@ func runCells(tasks []cellTask) error {
 				if !ok {
 					return
 				}
-				if err := t(); err != nil {
+				if err := obsv.observe(t); err != nil {
 					fail(err)
 					return
 				}

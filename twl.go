@@ -20,23 +20,27 @@ package twl
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"twl/internal/attack"
 	"twl/internal/core"
 	"twl/internal/detect"
+	"twl/internal/obs"
 	"twl/internal/pcm"
 	"twl/internal/pv"
 	"twl/internal/sim"
 	"twl/internal/trace"
 	"twl/internal/wl"
-	"twl/internal/wl/bwl"
-	"twl/internal/wl/nowl"
-	"twl/internal/wl/od3p"
-	"twl/internal/wl/rbsg"
-	"twl/internal/wl/secref"
-	"twl/internal/wl/startgap"
-	"twl/internal/wl/wrl"
+
+	// Scheme packages register themselves with the wl registry in init;
+	// these imports make every scheme constructible by name. (nowl, secref
+	// and core are additionally imported by experiments.go for direct use.)
+	_ "twl/internal/wl/bwl"
+	_ "twl/internal/wl/od3p"
+	_ "twl/internal/wl/rbsg"
+	_ "twl/internal/wl/startgap"
+	_ "twl/internal/wl/wrl"
 )
 
 // Re-exported core types, so API users can name them without reaching into
@@ -131,10 +135,28 @@ func SmallSystem(seed uint64) SystemConfig {
 	}
 }
 
+// Validate reports whether the configuration is usable. Every failure wraps
+// ErrBadConfig, so callers can classify with errors.Is.
+func (c SystemConfig) Validate() error {
+	if c.Pages <= 0 {
+		return fmt.Errorf("twl: %w: Pages must be positive, got %d", ErrBadConfig, c.Pages)
+	}
+	if c.PageSize <= 0 {
+		return fmt.Errorf("twl: %w: PageSize must be positive, got %d", ErrBadConfig, c.PageSize)
+	}
+	if c.MeanEndurance <= 0 {
+		return fmt.Errorf("twl: %w: MeanEndurance must be positive, got %g", ErrBadConfig, c.MeanEndurance)
+	}
+	if c.SigmaFraction < 0 || c.SigmaFraction >= 1 {
+		return fmt.Errorf("twl: %w: SigmaFraction must be in [0, 1), got %g", ErrBadConfig, c.SigmaFraction)
+	}
+	return nil
+}
+
 // NewDevice builds the PCM device for the configuration.
 func (c SystemConfig) NewDevice() (*Device, error) {
-	if c.Pages <= 0 {
-		return nil, fmt.Errorf("twl: Pages must be positive, got %d", c.Pages)
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	end, err := pv.Generate(pv.Config{
 		Pages: c.Pages,
@@ -156,50 +178,50 @@ func (c SystemConfig) NewDevice() (*Device, error) {
 	return pcm.NewDevice(geom, pcm.DefaultTiming(), end)
 }
 
+// Sentinel errors, re-exported for errors.Is checks against anything this
+// package returns.
+var (
+	// ErrUnknownScheme is wrapped by NewScheme when the name is not
+	// registered.
+	ErrUnknownScheme = wl.ErrUnknownScheme
+	// ErrBadConfig is wrapped by every constructor and Validate method when
+	// a configuration value is out of range.
+	ErrBadConfig = wl.ErrBadConfig
+)
+
 // SchemeNames lists the scheme identifiers accepted by NewScheme, in the
-// order the paper's figures present them.
-func SchemeNames() []string {
-	return []string{"BWL", "SR", "TWL_ap", "TWL_swp", "NOWL", "TWL_rand", "WRL", "StartGap", "OD3P", "RBSG"}
+// order the paper's figures present them. The list is derived from the
+// scheme registry (internal/wl), so it is always in sync with what
+// NewScheme accepts.
+func SchemeNames() []string { return wl.Names() }
+
+// SchemeDocs returns one line of documentation per registered scheme, in
+// SchemeNames order, for command-line usage messages.
+func SchemeDocs() []string {
+	regs := wl.Default.Registrations()
+	docs := make([]string, 0, len(regs))
+	for _, r := range regs {
+		line := r.Name
+		if len(r.Aliases) > 0 {
+			line += " (aliases: " + strings.Join(r.Aliases, ", ") + ")"
+		}
+		if r.Doc != "" {
+			line += " — " + r.Doc
+		}
+		docs = append(docs, line)
+	}
+	return docs
 }
 
 // NewScheme constructs a wear-leveling scheme by name over dev. Recognized
-// names (case-insensitive): NOWL, SR, BWL, WRL, StartGap, TWL_swp (or TWL),
-// TWL_ap, TWL_rand.
+// names (case-insensitive): BWL, SR, TWL_ap, TWL_swp (alias TWL), NOWL,
+// TWL_rand, WRL, StartGap (aliases start-gap, sg), OD3P, RBSG, SR2 — see
+// SchemeNames/SchemeDocs for the authoritative registry-derived list. An
+// unrecognized name returns an error wrapping ErrUnknownScheme; a scheme
+// rejecting its derived configuration returns an error wrapping
+// ErrBadConfig.
 func NewScheme(name string, dev *Device, seed uint64) (Scheme, error) {
-	switch strings.ToLower(name) {
-	case "nowl":
-		return nowl.New(dev), nil
-	case "sr":
-		return secref.New(dev, secref.DefaultConfig(seed))
-	case "sr2":
-		// Two-level Security Refresh at full-scale leveling rates (the
-		// lifetime experiments rescale the intervals to the simulated
-		// endurance; see lifetimeScheme in experiments.go).
-		return secref.NewTwoLevel(dev, secref.DefaultTwoLevelConfig(dev.Pages(), 1e8, seed))
-	case "bwl":
-		return bwl.New(dev, bwl.DefaultConfig(dev.Pages(), seed))
-	case "wrl":
-		return wrl.New(dev, wrl.DefaultConfig(dev.Pages()))
-	case "startgap", "start-gap", "sg":
-		return startgap.New(dev, startgap.DefaultConfig(seed))
-	case "od3p":
-		return od3p.New(dev, od3p.DefaultConfig())
-	case "rbsg":
-		return rbsg.New(dev, rbsg.DefaultConfig(dev.Pages(), seed))
-	case "twl", "twl_swp":
-		return core.New(dev, core.DefaultConfig(seed))
-	case "twl_ap":
-		cfg := core.DefaultConfig(seed)
-		cfg.Pairing = core.Adjacent
-		return core.New(dev, cfg)
-	case "twl_rand":
-		cfg := core.DefaultConfig(seed)
-		cfg.Pairing = core.Random
-		return core.New(dev, cfg)
-	default:
-		return nil, fmt.Errorf("twl: unknown scheme %q (known: %s)",
-			name, strings.Join(SchemeNames(), ", "))
-	}
+	return wl.NewByName(name, dev, seed)
 }
 
 // NewTWL constructs a TWL engine with an explicit configuration, for users
@@ -249,10 +271,51 @@ func NewWorkload(bench Benchmark, pages int, seed uint64) (sim.Source, error) {
 	return sim.FromWorkload(g), nil
 }
 
+// Observability re-exports: a run can be pointed at a metrics registry
+// (counters, gauges, latency histograms — exportable as text, JSON or
+// Prometheus exposition) and a tracer (structured JSONL progress events).
+// See internal/obs and DESIGN.md.
+type (
+	// MetricsRegistry collects named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// Tracer emits structured progress events as JSON lines.
+	Tracer = obs.Tracer
+	// LifetimeConfig controls a lifetime run (caps, paranoid checking,
+	// metrics, tracing).
+	LifetimeConfig = sim.LifetimeConfig
+	// PerfConfig controls a performance run (request count, bandwidth
+	// anchor, metrics).
+	PerfConfig = sim.PerfConfig
+)
+
+// NewMetrics returns an empty metrics registry. Pass it in a LifetimeConfig
+// (or the experiment configs) and render it afterwards with its WriteText,
+// WriteJSON or WritePrometheus methods.
+func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricLabel builds a registry label for series lookups
+// (e.g. reg.Counter("twl_sim_requests_total", twl.MetricLabel("op", "write"))).
+func MetricLabel(key, value string) obs.Label { return obs.L(key, value) }
+
+// NewRunTracer returns a tracer writing JSON lines to w, emitting one
+// progress event every `every` demand writes (0 uses obs.DefaultTraceEvery).
+func NewRunTracer(w io.Writer, every uint64) *Tracer { return obs.NewTracer(w, every) }
+
+// Instrument wraps a scheme so every Write/Read updates per-scheme request,
+// blocked and latency series in reg. The wrapper preserves the invariant
+// checker interface when the underlying scheme has one.
+func Instrument(s Scheme, reg *MetricsRegistry) Scheme { return wl.Instrument(s, reg) }
+
 // RunLifetime drives src through s until the first page failure and returns
 // the summary. See sim.RunLifetime.
 func RunLifetime(s Scheme, src sim.Source) (LifetimeResult, error) {
 	return sim.RunLifetime(s, src, sim.LifetimeConfig{})
+}
+
+// RunLifetimeWith is RunLifetime with an explicit configuration — caps,
+// paranoid invariant checking, a metrics registry and/or a tracer.
+func RunLifetimeWith(s Scheme, src sim.Source, cfg LifetimeConfig) (LifetimeResult, error) {
+	return sim.RunLifetime(s, src, cfg)
 }
 
 // IdealYears returns the full-size system's ideal lifetime in years at the
