@@ -1,8 +1,10 @@
 # Tier-1 verification (referenced from ROADMAP.md): formatting, static
-# analysis, build and the full race-enabled test suite.
-.PHONY: check fmt vet build test
+# analysis, build, the full race-enabled test suite and a single-iteration
+# benchmark smoke (catches bit-rot in the hot-loop benchmarks without
+# spending benchmark time).
+.PHONY: check fmt vet build test bench benchsmoke
 
-check: fmt vet build test
+check: fmt vet build test benchsmoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -18,3 +20,11 @@ build:
 
 test:
 	go test -race ./...
+
+benchsmoke:
+	go test ./internal/sim -run '^$$' -bench FastForward -benchtime=1x
+
+# Hot-loop benchmark: full lifetime runs through the fast-forward path vs
+# the per-write path, written to BENCH_PR2.json (ns/write and speedup).
+bench:
+	go run ./cmd/benchff -out BENCH_PR2.json

@@ -1,0 +1,199 @@
+// Command benchff measures the run-length fast-forward engine: full
+// lifetime runs (to first page failure) at SmallSystem scale, per scheme ×
+// attack, once through the fast-forward path and once pinned to the
+// per-write path. Runs are interleaved and each configuration reports its
+// best-of-N wall clock, which suppresses scheduler noise; the two paths are
+// verified to produce identical results before a ratio is reported.
+//
+// The output JSON (BENCH_PR2.json in the repo root) seeds the repo's
+// benchmark trajectory:
+//
+//	go run ./cmd/benchff -out BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"twl"
+)
+
+// runWriter / sweepWriter mirror the internal fast-forward interfaces
+// structurally (twl.Cost aliases the internal cost type), so the tool can
+// report which schemes actually take the fast path.
+type runWriter interface {
+	WriteRun(la int, tag uint64, n int) (twl.Cost, int)
+}
+
+type sweepWriter interface {
+	WriteSweep(la int, tag uint64, n int) (twl.Cost, int)
+}
+
+type result struct {
+	Scheme       string  `json:"scheme"`
+	Attack       string  `json:"attack"`
+	FastPath     bool    `json:"fast_path"`
+	DemandWrites uint64  `json:"demand_writes"`
+	PerWriteNs   float64 `json:"perwrite_ns_per_write"`
+	FastNs       float64 `json:"fast_ns_per_write"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type report struct {
+	Bench   string `json:"bench"`
+	Command string `json:"command"`
+	System  struct {
+		Pages         int     `json:"pages"`
+		MeanEndurance float64 `json:"mean_endurance"`
+		SigmaFraction float64 `json:"sigma_fraction"`
+		Seed          uint64  `json:"seed"`
+	} `json:"system"`
+	Reps    int                `json:"reps"`
+	Results []result           `json:"results"`
+	Geomean map[string]float64 `json:"geomean_speedup_fast_path_schemes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path (empty: stdout only)")
+	reps := flag.Int("reps", 5, "timed repetitions per configuration (best-of)")
+	seed := flag.Uint64("seed", 1, "system and scheme seed")
+	schemes := flag.String("schemes", "NOWL,StartGap,SR,SR2,BWL", "comma-separated scheme names")
+	flag.Parse()
+
+	sys := twl.SmallSystem(*seed)
+	var rep report
+	rep.Bench = "run-length fast-forward vs per-write lifetime simulation"
+	rep.Command = "go run ./cmd/benchff"
+	rep.System.Pages = sys.Pages
+	rep.System.MeanEndurance = sys.MeanEndurance
+	rep.System.SigmaFraction = sys.SigmaFraction
+	rep.System.Seed = sys.Seed
+	rep.Reps = *reps
+	rep.Geomean = map[string]float64{}
+
+	modes := []struct {
+		name string
+		mode twl.AttackMode
+	}{
+		{"repeat", twl.AttackRepeat},
+		{"scan", twl.AttackScan},
+	}
+
+	for _, m := range modes {
+		logSum, logN := 0.0, 0
+		for _, name := range strings.Split(*schemes, ",") {
+			name = strings.TrimSpace(name)
+			r, err := measure(sys, name, m.name, m.mode, *reps, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchff: %s/%s: %v\n", m.name, name, err)
+				os.Exit(1)
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-8s %-10s fast %8.2f ns/write   perwrite %8.2f ns/write   speedup %5.2fx%s\n",
+				m.name, name, r.FastNs, r.PerWriteNs, r.Speedup,
+				map[bool]string{true: "", false: "   (per-write fallback)"}[r.FastPath])
+			if r.FastPath {
+				logSum += math.Log(r.Speedup)
+				logN++
+			}
+		}
+		if logN > 0 {
+			g := math.Exp(logSum / float64(logN))
+			rep.Geomean[m.name] = math.Round(g*100) / 100
+			fmt.Printf("%-8s geomean over fast-path schemes: %.2fx\n", m.name, g)
+		}
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchff: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// measure times full lifetime runs for one scheme × attack, interleaving the
+// fast and per-write paths and keeping the best wall clock of each.
+func measure(sys twl.SystemConfig, scheme, modeName string, mode twl.AttackMode, reps int, seed uint64) (result, error) {
+	var r result
+	r.Scheme = scheme
+	r.Attack = modeName
+
+	bestFast := time.Duration(math.MaxInt64)
+	bestSlow := time.Duration(math.MaxInt64)
+	var fastRes, slowRes twl.LifetimeResult
+	for i := 0; i < reps; i++ {
+		for _, disable := range []bool{false, true} {
+			res, elapsed, fastPath, err := runOnce(sys, scheme, mode, seed, disable)
+			if err != nil {
+				return r, err
+			}
+			if disable {
+				slowRes = res
+				if elapsed < bestSlow {
+					bestSlow = elapsed
+				}
+			} else {
+				fastRes = res
+				r.FastPath = fastPath
+				if elapsed < bestFast {
+					bestFast = elapsed
+				}
+			}
+		}
+	}
+	if fastRes != slowRes {
+		return r, fmt.Errorf("paths diverge: fast %+v, per-write %+v", fastRes, slowRes)
+	}
+	if fastRes.DemandWrites == 0 {
+		return r, fmt.Errorf("run served no writes")
+	}
+	r.DemandWrites = fastRes.DemandWrites
+	w := float64(fastRes.DemandWrites)
+	r.FastNs = math.Round(float64(bestFast.Nanoseconds())/w*100) / 100
+	r.PerWriteNs = math.Round(float64(bestSlow.Nanoseconds())/w*100) / 100
+	r.Speedup = math.Round(r.PerWriteNs/r.FastNs*100) / 100
+	return r, nil
+}
+
+// runOnce builds a fresh system and times one lifetime run.
+func runOnce(sys twl.SystemConfig, scheme string, mode twl.AttackMode, seed uint64, disableFF bool) (twl.LifetimeResult, time.Duration, bool, error) {
+	dev, err := sys.NewDevice()
+	if err != nil {
+		return twl.LifetimeResult{}, 0, false, err
+	}
+	s, err := twl.NewScheme(scheme, dev, seed)
+	if err != nil {
+		return twl.LifetimeResult{}, 0, false, err
+	}
+	pages := dev.Pages()
+	if lp, ok := s.(interface{ LogicalPages() int }); ok {
+		pages = lp.LogicalPages()
+	}
+	src, err := twl.NewAttack(mode, pages, seed)
+	if err != nil {
+		return twl.LifetimeResult{}, 0, false, err
+	}
+	fastPath := false
+	if mode == twl.AttackScan {
+		_, fastPath = s.(sweepWriter)
+	} else {
+		_, fastPath = s.(runWriter)
+	}
+	start := time.Now()
+	res, err := twl.RunLifetimeWith(s, src, twl.LifetimeConfig{DisableFastForward: disableFF})
+	elapsed := time.Since(start)
+	return res, elapsed, fastPath, err
+}

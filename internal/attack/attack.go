@@ -67,6 +67,32 @@ type Stream interface {
 	Next(fb Feedback) int
 }
 
+// RunStream is the optional fast-forward interface for streams whose next
+// writes form a maximal same-address run that does not depend on per-request
+// feedback (the repeat attack: one address forever). NextRun returns the
+// address and how many consecutive writes of it the stream commits to; the
+// caller treats all n as consumed even if it stops early (the run has no
+// internal state to rewind). Feedback-driven streams (inconsistent) must
+// not implement RunStream.
+type RunStream interface {
+	Stream
+	NextRun(fb Feedback) (addr int, n int)
+}
+
+// SweepStream is the optional fast-forward interface for streams whose next
+// writes cover consecutive ascending addresses addr, addr+1, …, addr+n-1
+// without wrapping (the scan attack: one full pass per call). The same
+// feedback-independence and all-n-consumed rules as RunStream apply.
+type SweepStream interface {
+	Stream
+	NextSweep(fb Feedback) (addr int, n int)
+}
+
+// repeatRunLength is how many writes a repeat RunStream commits to per
+// NextRun call; the stream is infinite, so the value only bounds how much
+// work a simulator buys per call.
+const repeatRunLength = 1 << 20
+
 // Config describes an attack to construct.
 type Config struct {
 	Mode Mode
@@ -139,6 +165,10 @@ type repeatStream struct{ addr int }
 func (s *repeatStream) Name() string         { return "repeat" }
 func (s *repeatStream) Next(fb Feedback) int { return s.addr }
 
+// NextRun implements RunStream: the repeat attack is one unbounded
+// same-address run.
+func (s *repeatStream) NextRun(Feedback) (int, int) { return s.addr, repeatRunLength }
+
 type randomStream struct {
 	n   int
 	src *rng.Xorshift
@@ -160,6 +190,14 @@ func (s *scanStream) Next(fb Feedback) int {
 		s.pos = 0
 	}
 	return a
+}
+
+// NextSweep implements SweepStream: the rest of the current ascending pass,
+// after which the scan wraps to address 0.
+func (s *scanStream) NextSweep(Feedback) (int, int) {
+	a := s.pos
+	s.pos = 0
+	return a, s.n - a
 }
 
 // inconsistentStream implements the Section 3.2 attack. It cycles through N

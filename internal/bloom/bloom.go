@@ -63,6 +63,21 @@ func (f *Filter) Add(key uint64) {
 	f.items++
 }
 
+// AddN inserts key n times. The bit set is idempotent, so this sets the
+// key's bits once and bumps the item count by n — identical end state to n
+// Add calls.
+func (f *Filter) AddN(key uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	h1, h2 := hashPair(key)
+	for i := 0; i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.items += n
+}
+
 // Contains reports whether key may have been inserted (no false negatives;
 // false positives at the designed rate).
 func (f *Filter) Contains(key uint64) bool {
@@ -134,6 +149,30 @@ func (c *Counting) Add(key uint64) uint16 {
 		}
 	}
 	c.adds++
+	return est
+}
+
+// AddN increments the key's slots by n (saturating per slot) and returns
+// the new estimate — the end state matches n sequential Add calls, each of
+// which saturates independently.
+func (c *Counting) AddN(key uint64, n int) uint16 {
+	if n <= 0 {
+		return c.Estimate(key)
+	}
+	h1, h2 := hashPair(key)
+	est := c.maxVal
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.nslots
+		if room := c.maxVal - c.slots[idx]; uint64(room) >= uint64(n) {
+			c.slots[idx] += uint16(n)
+		} else {
+			c.slots[idx] = c.maxVal
+		}
+		if c.slots[idx] < est {
+			est = c.slots[idx]
+		}
+	}
+	c.adds += uint64(n)
 	return est
 }
 

@@ -93,6 +93,20 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 }
 
+// ObserveN records the value v, n times, in one step. For integer-valued
+// observations (all cycle latencies are) whose running sum stays below 2^53
+// the result is bit-identical to n repeated Observe calls: both the single
+// v*n product and the incremental sum are exact in float64.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * float64(n))
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

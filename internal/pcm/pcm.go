@@ -103,8 +103,12 @@ type Device struct {
 	geom      Geometry
 	timing    Timing
 	endurance []uint64
-	wear      []uint64
-	payload   []uint64
+	// invEndurance caches 1/endurance per page so wear-fraction snapshots
+	// (Summary, WearHistogram) multiply instead of dividing in their per-page
+	// loops.
+	invEndurance []float64
+	wear         []uint64
+	payload      []uint64
 
 	writes      uint64 // total page writes applied (demand + swap alike)
 	reads       uint64
@@ -129,13 +133,18 @@ func NewDevice(geom Geometry, timing Timing, endurance []uint64) (*Device, error
 	}
 	end := make([]uint64, len(endurance))
 	copy(end, endurance)
+	inv := make([]float64, len(end))
+	for i, e := range end {
+		inv[i] = 1 / float64(e)
+	}
 	return &Device{
-		geom:       geom,
-		timing:     timing,
-		endurance:  end,
-		wear:       make([]uint64, geom.Pages),
-		payload:    make([]uint64, geom.Pages),
-		failedPage: -1,
+		geom:         geom,
+		timing:       timing,
+		endurance:    end,
+		invEndurance: inv,
+		wear:         make([]uint64, geom.Pages),
+		payload:      make([]uint64, geom.Pages),
+		failedPage:   -1,
 	}, nil
 }
 
@@ -182,6 +191,97 @@ func (d *Device) Write(pp int, tag uint64) bool {
 		return true
 	}
 	return d.wear[pp] > d.endurance[pp]
+}
+
+// WriteN applies n same-page writes to physical page pp in one step and
+// returns how many were actually applied. The i-th applied write (0-indexed)
+// carries payload tag+i, so the page payload ends at tag+applied-1 — exactly
+// what n sequential Write(pp, tag+i) calls would leave behind.
+//
+// Failure clamping: if the page crosses its endurance mid-run, WriteN stops
+// at (and including) the write that wears it out, marks the failure, and
+// returns the reduced count; the caller sees applied < n and must not count
+// the unapplied remainder. Writes to an already-failed page keep counting
+// wear, matching Write.
+func (d *Device) WriteN(pp int, tag uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	applied := uint64(n)
+	w, e := d.wear[pp], d.endurance[pp]
+	if w < e && w+applied >= e {
+		// Crosses the endurance boundary: stop at the failing write.
+		applied = e - w
+		d.failedCount++
+		if d.failedPage < 0 {
+			d.failedPage = pp
+		}
+	}
+	d.wear[pp] = w + applied
+	d.payload[pp] = tag + applied - 1
+	d.writes += applied
+	return int(applied)
+}
+
+// WriteRange applies one write each to the n consecutive physical pages
+// pp0, pp0+1, …, carrying tags tag, tag+1, … . It stops after the first
+// write that wears a page out (that write is applied and the failure is
+// marked, matching Write) and returns how many writes were applied.
+func (d *Device) WriteRange(pp0 int, tag uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	wear := d.wear[pp0 : pp0+n]
+	end := d.endurance[pp0 : pp0+n][:n]
+	pay := d.payload[pp0 : pp0+n][:n]
+	for i := range wear {
+		w := wear[i] + 1
+		wear[i] = w
+		pay[i] = tag + uint64(i)
+		if w >= end[i] {
+			if w == end[i] {
+				d.failedCount++
+				if d.failedPage < 0 {
+					d.failedPage = pp0 + i
+				}
+			}
+			d.writes += uint64(i + 1)
+			return i + 1
+		}
+	}
+	d.writes += uint64(n)
+	return n
+}
+
+// WriteSeq applies one write each to the physical pages listed in pps, in
+// order, carrying tags tag, tag+1, … — a gather-write over a precomputed
+// address vector. Like WriteRange it stops after the first write that wears
+// a page out (that write is applied and the failure marked, matching Write)
+// and returns how many writes were applied. Schemes whose bulk paths scatter
+// across the address space fill a scratch vector and hand it here, so the
+// wear/payload/endurance slice headers and the device write counter stay in
+// registers instead of being re-touched per write.
+func (d *Device) WriteSeq(pps []int, tag uint64) int {
+	wear := d.wear
+	end := d.endurance[:len(wear)]
+	pay := d.payload[:len(wear)]
+	for i, pp := range pps {
+		w := wear[pp] + 1
+		wear[pp] = w
+		pay[pp] = tag + uint64(i)
+		if w >= end[pp] {
+			if w == end[pp] {
+				d.failedCount++
+				if d.failedPage < 0 {
+					d.failedPage = pp
+				}
+			}
+			d.writes += uint64(i + 1)
+			return i + 1
+		}
+	}
+	d.writes += uint64(len(pps))
+	return len(pps)
 }
 
 // Read reads the payload of physical page pp.
@@ -244,7 +344,7 @@ func (d *Device) Summary() WearSummary {
 			s.MaxWear = w
 			s.MaxWearPage = pp
 		}
-		f := float64(w) / float64(d.endurance[pp])
+		f := float64(w) * d.invEndurance[pp]
 		fracSum += f
 		if f > s.MaxFraction {
 			s.MaxFraction = f
@@ -265,7 +365,7 @@ func (d *Device) WearHistogram(buckets int) []int {
 	}
 	h := make([]int, buckets)
 	for pp, w := range d.wear {
-		f := float64(w) / float64(d.endurance[pp])
+		f := float64(w) * d.invEndurance[pp]
 		b := int(f * float64(buckets))
 		if b >= buckets {
 			b = buckets - 1

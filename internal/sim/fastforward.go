@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+
+	"twl/internal/attack"
+	"twl/internal/obs"
+	"twl/internal/pcm"
+	"twl/internal/wl"
+)
+
+// lifetimeState carries the request-loop state of one RunLifetime call, so
+// the per-request and fast-forward loops share accounting code (and the
+// loops themselves stay small enough to read).
+type lifetimeState struct {
+	s          wl.Scheme
+	dev        *pcm.Device
+	timing     pcm.Timing
+	checker    wl.Checker
+	checkEvery uint64
+	metrics    *lifetimeMetrics
+	tracer     *obs.Tracer
+	traceEvery uint64
+	limit      uint64
+
+	fb      attack.Feedback
+	demand  uint64
+	blocked uint64
+	cycles  int64
+	res     LifetimeResult
+}
+
+// perRequestLoop is the baseline path: one Source.Next, one Write/Read per
+// iteration. The nil-metrics/nil-trace/nil-checker case runs a bare loop
+// with those branches hoisted out entirely.
+func (l *lifetimeState) perRequestLoop(src Source) error {
+	if l.metrics == nil && l.traceEvery == 0 && l.checkEvery == 0 {
+		return l.perRequestBare(src)
+	}
+	for l.demand < l.limit {
+		addr, write := src.Next(l.fb)
+		if !write {
+			l.readOne(addr)
+			continue
+		}
+		if err := l.writeOne(addr); err != nil {
+			return err
+		}
+		// Reads cannot wear a page out, so failure is only checked after
+		// writes.
+		if l.failed() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// perRequestBare is perRequestLoop with no instrumentation in the loop.
+func (l *lifetimeState) perRequestBare(src Source) error {
+	s, timing := l.s, l.timing
+	for l.demand < l.limit {
+		addr, write := src.Next(l.fb)
+		var cost wl.Cost
+		if write {
+			cost = s.Write(addr, l.demand)
+			l.demand++
+		} else {
+			_, cost = s.Read(addr)
+		}
+		c := cost.Cycles(timing)
+		l.cycles += c
+		if cost.Blocked {
+			l.blocked++
+		}
+		l.fb = attack.Feedback{Blocked: cost.Blocked, Cycles: c}
+		if write && l.failed() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// bulkLoop is the fast-forward path: the source emits runs (same address) or
+// sweeps (consecutive addresses), and the scheme — when it implements the
+// matching writer interface — absorbs the event-free prefix of each run in
+// bulk. Event writes (absorbed == 0) and schemes without the interface are
+// served through the identical per-request accounting as perRequestLoop, so
+// results are bit-identical either way.
+func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sweep bool) error {
+	var runWriter wl.RunWriter
+	var sweepWriter wl.SweepWriter
+	if sweep {
+		sweepWriter, _ = l.s.(wl.SweepWriter)
+	} else {
+		runWriter, _ = l.s.(wl.RunWriter)
+	}
+	hasWriter := runWriter != nil || sweepWriter != nil
+
+	for l.demand < l.limit {
+		addr, write, n := next(l.fb)
+		if n <= 0 {
+			continue
+		}
+		if !write {
+			for i := 0; i < n; i++ {
+				a := addr
+				if sweep {
+					a = addr + i
+				}
+				l.readOne(a)
+			}
+			continue
+		}
+		off := 0
+		for n > 0 && l.demand < l.limit {
+			if hasWriter {
+				chunk := l.boundedChunk(n)
+				var cost wl.Cost
+				var absorbed int
+				if sweep {
+					cost, absorbed = sweepWriter.WriteSweep(addr+off, l.demand, chunk)
+				} else {
+					cost, absorbed = runWriter.WriteRun(addr, l.demand, chunk)
+				}
+				if absorbed > 0 {
+					l.accountBulk(cost, absorbed)
+					n -= absorbed
+					off += absorbed
+					// Same order as the per-request path: the invariant
+					// check (only ever at a batch end, by boundedChunk)
+					// runs before the failure check.
+					if err := l.checkAt(); err != nil {
+						return err
+					}
+					if l.failed() {
+						return nil
+					}
+					continue
+				}
+			}
+			// Event write, or the scheme has no fast path: serve one
+			// request exactly as the per-request loop would.
+			a := addr
+			if sweep {
+				a = addr + off
+			}
+			if err := l.writeOne(a); err != nil {
+				return err
+			}
+			n--
+			off++
+			if l.failed() {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// boundedChunk clamps a bulk request so it cannot cross the demand cap, a
+// trace progress boundary, or an invariant-check boundary — the fast path
+// then observes those cadences at exactly the same demand counts as the
+// per-request path.
+func (l *lifetimeState) boundedChunk(n int) int {
+	chunk := uint64(n)
+	if rem := l.limit - l.demand; rem < chunk {
+		chunk = rem
+	}
+	if l.traceEvery > 0 {
+		if rem := l.traceEvery - l.demand%l.traceEvery; rem < chunk {
+			chunk = rem
+		}
+	}
+	if l.checkEvery > 0 {
+		if rem := l.checkEvery - l.demand%l.checkEvery; rem < chunk {
+			chunk = rem
+		}
+	}
+	return int(chunk)
+}
+
+// accountBulk applies the accounting for `absorbed` uniform-cost unblocked
+// writes in O(1): cycle totals, batched metrics (Counter.Add and
+// Histogram.ObserveN land exactly where `absorbed` repeated updates would),
+// feedback, and the trace progress cadence (boundedChunk guarantees a
+// boundary can only fall at the end of the batch).
+func (l *lifetimeState) accountBulk(cost wl.Cost, absorbed int) {
+	c := cost.Cycles(l.timing)
+	l.cycles += c * int64(absorbed)
+	l.demand += uint64(absorbed)
+	l.fb = attack.Feedback{Blocked: false, Cycles: c}
+	if l.metrics != nil {
+		l.metrics.writes.Add(uint64(absorbed))
+		l.metrics.latency.ObserveN(float64(c), uint64(absorbed))
+	}
+	if l.traceEvery > 0 && l.demand%l.traceEvery == 0 {
+		emitProgress(l.tracer, l.s, l.demand, l.blocked, l.cycles)
+	}
+}
+
+// writeOne serves one demand write with full per-request accounting.
+func (l *lifetimeState) writeOne(addr int) error {
+	cost := l.s.Write(addr, l.demand)
+	l.demand++
+	c := cost.Cycles(l.timing)
+	l.cycles += c
+	if cost.Blocked {
+		l.blocked++
+	}
+	l.fb = attack.Feedback{Blocked: cost.Blocked, Cycles: c}
+	if l.metrics != nil {
+		l.metrics.writes.Inc()
+		if cost.Blocked {
+			l.metrics.blocked.Inc()
+		}
+		l.metrics.latency.Observe(float64(c))
+	}
+	if l.traceEvery > 0 && l.demand%l.traceEvery == 0 {
+		emitProgress(l.tracer, l.s, l.demand, l.blocked, l.cycles)
+	}
+	return l.checkAt()
+}
+
+// readOne serves one demand read with full per-request accounting. Reads
+// don't advance demand, can't fail the device, and don't hit the check or
+// trace cadences.
+func (l *lifetimeState) readOne(addr int) {
+	_, cost := l.s.Read(addr)
+	c := cost.Cycles(l.timing)
+	l.cycles += c
+	if cost.Blocked {
+		l.blocked++
+	}
+	l.fb = attack.Feedback{Blocked: cost.Blocked, Cycles: c}
+	if l.metrics != nil {
+		l.metrics.reads.Inc()
+		if cost.Blocked {
+			l.metrics.blocked.Inc()
+		}
+		l.metrics.latency.Observe(float64(c))
+	}
+}
+
+// checkAt runs the scheme's invariant checker when demand sits on the
+// configured cadence.
+func (l *lifetimeState) checkAt() error {
+	if l.checkEvery > 0 && l.demand%l.checkEvery == 0 {
+		if err := l.checker.CheckInvariants(); err != nil {
+			return fmt.Errorf("sim: invariant violation after %d writes: %w", l.demand, err)
+		}
+	}
+	return nil
+}
+
+// failed records the first failed page, stopping the run.
+func (l *lifetimeState) failed() bool {
+	if page, isFailed := l.dev.Failed(); isFailed {
+		l.res.FailedPage = page
+		return true
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"twl/internal/attack"
+	"twl/internal/obs"
+	"twl/internal/trace"
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+
+	// Populate the default registry with every scheme so the differential
+	// test sweeps all of them.
+	_ "twl/internal/core"
+	_ "twl/internal/wl/bwl"
+	_ "twl/internal/wl/od3p"
+	_ "twl/internal/wl/rbsg"
+	_ "twl/internal/wl/secref"
+	_ "twl/internal/wl/startgap"
+	_ "twl/internal/wl/wrl"
+)
+
+// runWriters lists the schemes that must implement the fast-forward writer
+// interfaces (the deterministic ones); every other registered scheme must
+// not, and takes the per-request fallback.
+var runWriters = map[string]bool{
+	"NOWL":     true,
+	"StartGap": true,
+	"BWL":      true,
+	"SR":       true,
+	"SR2":      true,
+}
+
+const (
+	diffPages     = 256
+	diffEndurance = 3000
+	diffSeed      = 7
+)
+
+// diffTrace builds a replay trace with same-address write bursts of varying
+// lengths, interleaved reads (including read runs), and raw addresses beyond
+// the page range (exercising the FromTrace folding).
+func diffTrace() []trace.Record {
+	var recs []trace.Record
+	for i := 0; i < 48; i++ {
+		addr := uint64(i*37 + i%3*1000)
+		for j := 0; j < i%7+1; j++ {
+			recs = append(recs, trace.Record{Op: trace.Write, Addr: addr})
+		}
+		if i%3 == 0 {
+			for j := 0; j < i%4+1; j++ {
+				recs = append(recs, trace.Record{Op: trace.Read, Addr: addr + 5})
+			}
+		}
+	}
+	return recs
+}
+
+// diffSource builds the request source for one differential run, sized to
+// the scheme's demand-addressable space (schemes with spare gap pages serve
+// fewer logical pages than the device holds).
+func diffSource(t *testing.T, kind string, pages int) Source {
+	t.Helper()
+	switch kind {
+	case "repeat", "scan":
+		mode := attack.Repeat
+		if kind == "scan" {
+			mode = attack.Scan
+		}
+		st, err := attack.New(attack.DefaultConfig(mode, pages, diffSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FromAttack(st)
+	case "trace":
+		src, err := FromTrace(diffTrace(), pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	t.Fatalf("unknown source kind %q", kind)
+	return nil
+}
+
+// demandPages returns the scheme's logical page count (LogicalPages when
+// the scheme reserves spare pages, the device size otherwise).
+func demandPages(s wl.Scheme) int {
+	if z, ok := s.(interface{ LogicalPages() int }); ok {
+		return z.LogicalPages()
+	}
+	return s.Device().Pages()
+}
+
+// diffRun executes one lifetime run and captures everything comparable:
+// the result, the full wear and payload maps, device totals, the metrics
+// registry rendering, and the trace event log.
+type diffRun struct {
+	res         LifetimeResult
+	wear        []uint64
+	payload     []uint64
+	writes      uint64
+	reads       uint64
+	metricsText string
+	traceText   string
+}
+
+func diffRunOne(t *testing.T, scheme, kind string, disableFF bool) diffRun {
+	t.Helper()
+	dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
+	s, err := wl.Default.New(scheme, dev, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	tr := obs.NewTracer(&traceBuf, 1000)
+	res, err := RunLifetime(s, diffSource(t, kind, demandPages(s)), LifetimeConfig{
+		MaxDemandWrites:    3 * dev.TotalEndurance(),
+		CheckEvery:         977,
+		Metrics:            reg,
+		Trace:              tr,
+		DisableFastForward: disableFF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var metricsBuf bytes.Buffer
+	if err := reg.WriteText(&metricsBuf); err != nil {
+		t.Fatal(err)
+	}
+	out := diffRun{
+		res:         res,
+		wear:        make([]uint64, dev.Pages()),
+		payload:     make([]uint64, dev.Pages()),
+		writes:      dev.TotalWrites(),
+		reads:       dev.TotalReads(),
+		metricsText: metricsBuf.String(),
+		traceText:   traceBuf.String(),
+	}
+	for pp := 0; pp < dev.Pages(); pp++ {
+		out.wear[pp] = dev.Wear(pp)
+		out.payload[pp] = dev.Peek(pp)
+	}
+	return out
+}
+
+// TestFastForwardImplementers pins which schemes opt into the fast path, so
+// an accidental interface change (or a probabilistic scheme gaining a bogus
+// WriteRun) fails loudly.
+func TestFastForwardImplementers(t *testing.T) {
+	for _, name := range wl.Names() {
+		dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
+		s, err := wl.Default.New(name, dev, diffSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, isRun := s.(wl.RunWriter)
+		if isRun != runWriters[name] {
+			t.Errorf("%s: RunWriter = %v, want %v", name, isRun, runWriters[name])
+		}
+		if _, isSweep := s.(wl.SweepWriter); isSweep && !runWriters[name] {
+			t.Errorf("%s: implements SweepWriter but is not a deterministic fast-forward scheme", name)
+		}
+	}
+}
+
+// TestFastForwardDifferential runs every registered scheme against the
+// repeat attack, the scan attack, and a bursty trace replay through both the
+// fast-forward and the per-request paths, and requires bit-identical
+// results: the LifetimeResult struct, the per-page wear map, the per-page
+// payload tags, device totals, the rendered metrics registry, and the
+// emitted trace events.
+func TestFastForwardDifferential(t *testing.T) {
+	for _, name := range wl.Names() {
+		for _, kind := range []string{"repeat", "scan", "trace"} {
+			t.Run(name+"/"+kind, func(t *testing.T) {
+				slow := diffRunOne(t, name, kind, true)
+				fast := diffRunOne(t, name, kind, false)
+
+				if fast.res != slow.res {
+					t.Errorf("LifetimeResult differs:\nfast: %+v\nslow: %+v", fast.res, slow.res)
+				}
+				if slow.res.Capped && slow.res.DemandWrites == 0 {
+					t.Fatal("slow run served no writes; differential test is vacuous")
+				}
+				for pp := range slow.wear {
+					if fast.wear[pp] != slow.wear[pp] {
+						t.Fatalf("wear[%d]: fast %d, slow %d", pp, fast.wear[pp], slow.wear[pp])
+					}
+					if fast.payload[pp] != slow.payload[pp] {
+						t.Fatalf("payload[%d]: fast %d, slow %d", pp, fast.payload[pp], slow.payload[pp])
+					}
+				}
+				if fast.writes != slow.writes || fast.reads != slow.reads {
+					t.Errorf("device totals differ: fast %d/%d, slow %d/%d",
+						fast.writes, fast.reads, slow.writes, slow.reads)
+				}
+				if fast.metricsText != slow.metricsText {
+					t.Errorf("metrics registry differs:\nfast:\n%s\nslow:\n%s", fast.metricsText, slow.metricsText)
+				}
+				if fast.traceText != slow.traceText {
+					t.Errorf("trace events differ:\nfast:\n%s\nslow:\n%s", fast.traceText, slow.traceText)
+				}
+			})
+		}
+	}
+}

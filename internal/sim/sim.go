@@ -18,7 +18,6 @@ package sim
 
 import (
 	"errors"
-	"fmt"
 
 	"twl/internal/attack"
 	"twl/internal/obs"
@@ -34,13 +33,67 @@ type Source interface {
 	Next(fb attack.Feedback) (addr int, write bool)
 }
 
+// RunSource is the optional fast-forward extension of Source: the stream's
+// next n requests are all the same operation on the same address. Sources
+// implementing it must not vary their output based on the per-request
+// Feedback (the simulator hands the fast path a per-batch feedback, not a
+// per-request one), and must treat all n requests as consumed even if the
+// run ends early (device failure or the demand cap). RunLifetime consumes
+// runs through wl.RunWriter when the scheme opts in, and falls back to
+// per-request Write/Read calls — bit-identically — when it doesn't.
+type RunSource interface {
+	Source
+	NextRun(fb attack.Feedback) (addr int, write bool, n int)
+}
+
+// SweepSource is the consecutive-address counterpart of RunSource: the next
+// n requests are the same operation on addr, addr+1, …, addr+n-1 (no
+// wrapping within a sweep). The same feedback-independence and all-consumed
+// rules apply; schemes opt in via wl.SweepWriter.
+type SweepSource interface {
+	Source
+	NextSweep(fb attack.Feedback) (addr int, write bool, n int)
+}
+
 // attackSource adapts an attack.Stream (write-only) to Source.
 type attackSource struct{ s attack.Stream }
 
 func (a attackSource) Next(fb attack.Feedback) (int, bool) { return a.s.Next(fb), true }
 
-// FromAttack wraps an attack stream as a request source.
-func FromAttack(s attack.Stream) Source { return attackSource{s} }
+// runAttackSource lifts an attack.RunStream into a RunSource (all writes).
+type runAttackSource struct {
+	attackSource
+	r attack.RunStream
+}
+
+func (a runAttackSource) NextRun(fb attack.Feedback) (int, bool, int) {
+	addr, n := a.r.NextRun(fb)
+	return addr, true, n
+}
+
+// sweepAttackSource lifts an attack.SweepStream into a SweepSource.
+type sweepAttackSource struct {
+	attackSource
+	r attack.SweepStream
+}
+
+func (a sweepAttackSource) NextSweep(fb attack.Feedback) (int, bool, int) {
+	addr, n := a.r.NextSweep(fb)
+	return addr, true, n
+}
+
+// FromAttack wraps an attack stream as a request source, preserving the
+// stream's run or sweep capability for the fast-forward path.
+func FromAttack(s attack.Stream) Source {
+	base := attackSource{s}
+	switch r := s.(type) {
+	case attack.RunStream:
+		return runAttackSource{base, r}
+	case attack.SweepStream:
+		return sweepAttackSource{base, r}
+	}
+	return base
+}
 
 // workloadSource adapts a synthetic benchmark generator to Source.
 type workloadSource struct{ g *trace.Synthetic }
@@ -50,17 +103,28 @@ func (w workloadSource) Next(attack.Feedback) (int, bool) { return w.g.Next() }
 // FromWorkload wraps a benchmark generator as a request source.
 func FromWorkload(g *trace.Synthetic) Source { return workloadSource{g} }
 
+// replayRec is a trace record with the address already folded into the
+// simulated page range, so replay pays the modulo once at construction
+// instead of once per request per loop.
+type replayRec struct {
+	addr  int
+	write bool
+}
+
 // replaySource loops a recorded trace forever.
 type replaySource struct {
-	recs []trace.Record
+	recs []replayRec
 	pos  int
-	mod  int
 }
+
+// maxRunLength bounds how many requests a single NextRun commits to when
+// the underlying stream is unbounded (a uniform trace loops forever).
+const maxRunLength = 1 << 20
 
 // FromTrace wraps an in-memory trace, replayed in a loop (the paper's
 // methodology: "use the trace to simulate each benchmark's execution in
 // loops until a PCM page wears out"). Addresses are folded into
-// [0, pages) by modulo.
+// [0, pages) by modulo at construction time.
 func FromTrace(recs []trace.Record, pages int) (Source, error) {
 	if len(recs) == 0 {
 		return nil, errors.New("sim: empty trace")
@@ -68,7 +132,11 @@ func FromTrace(recs []trace.Record, pages int) (Source, error) {
 	if pages <= 0 {
 		return nil, errors.New("sim: pages must be positive")
 	}
-	return &replaySource{recs: recs, mod: pages}, nil
+	folded := make([]replayRec, len(recs))
+	for i, rec := range recs {
+		folded[i] = replayRec{addr: int(rec.Addr % uint64(pages)), write: rec.Op == trace.Write}
+	}
+	return &replaySource{recs: folded}, nil
 }
 
 func (r *replaySource) Next(attack.Feedback) (int, bool) {
@@ -77,7 +145,36 @@ func (r *replaySource) Next(attack.Feedback) (int, bool) {
 	if r.pos == len(r.recs) {
 		r.pos = 0
 	}
-	return int(rec.Addr % uint64(r.mod)), rec.Op == trace.Write
+	return rec.addr, rec.write
+}
+
+// NextRun implements RunSource: the maximal prefix of identical records
+// starting at the replay position (wrapping across the loop seam). A fully
+// uniform trace would make every run one lap, so it is extended to whole
+// multiples of the trace up to maxRunLength.
+func (r *replaySource) NextRun(attack.Feedback) (int, bool, int) {
+	cur := r.recs[r.pos]
+	n := 1
+	pos := r.pos + 1
+	if pos == len(r.recs) {
+		pos = 0
+	}
+	for n < len(r.recs) && r.recs[pos] == cur {
+		n++
+		pos++
+		if pos == len(r.recs) {
+			pos = 0
+		}
+	}
+	r.pos = pos
+	if n == len(r.recs) {
+		// pos walked a whole lap (back to where it started); committing to
+		// whole extra laps keeps the position consistent.
+		if reps := maxRunLength / n; reps > 1 {
+			n *= reps
+		}
+	}
+	return cur.addr, cur.write, n
 }
 
 // LifetimeConfig controls a lifetime run.
@@ -97,6 +194,12 @@ type LifetimeConfig struct {
 	// event, one progress event every Trace.Every() demand writes (with a
 	// wear-histogram snapshot), and an end event with the run summary.
 	Trace *obs.Tracer
+	// DisableFastForward forces the per-request loop even when the source
+	// and scheme support run-length fast-forwarding. The fast path is
+	// bit-identical by contract (the differential tests pin it), so this
+	// exists for those tests and for benchmarking the paths against each
+	// other.
+	DisableFastForward bool
 }
 
 // WearHistogramBuckets is the resolution of the wear/endurance snapshots in
@@ -206,51 +309,44 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 		)
 	}
 
-	var fb attack.Feedback
-	var demand, blocked uint64
-	var cycles int64
-	res := LifetimeResult{Scheme: s.Name(), FailedPage: -1}
-	for demand < limit {
-		addr, write := src.Next(fb)
-		var cost wl.Cost
-		if write {
-			cost = s.Write(addr, demand)
-			demand++
-		} else {
-			_, cost = s.Read(addr)
-		}
-		c := cost.Cycles(timing)
-		cycles += c
-		if cost.Blocked {
-			blocked++
-		}
-		fb = attack.Feedback{Blocked: cost.Blocked, Cycles: c}
+	l := &lifetimeState{
+		s:          s,
+		dev:        dev,
+		timing:     timing,
+		checker:    checker,
+		checkEvery: cfg.CheckEvery,
+		metrics:    metrics,
+		tracer:     cfg.Trace,
+		traceEvery: traceEvery,
+		limit:      limit,
+		res:        LifetimeResult{Scheme: s.Name(), FailedPage: -1},
+	}
+	if checker == nil {
+		l.checkEvery = 0
+	}
 
-		if metrics != nil {
-			if write {
-				metrics.writes.Inc()
-			} else {
-				metrics.reads.Inc()
-			}
-			if cost.Blocked {
-				metrics.blocked.Inc()
-			}
-			metrics.latency.Observe(float64(c))
-		}
-		if traceEvery > 0 && write && demand%traceEvery == 0 {
-			emitProgress(cfg.Trace, s, demand, blocked, cycles)
-		}
-
-		if cfg.CheckEvery > 0 && checker != nil && demand%cfg.CheckEvery == 0 {
-			if err := checker.CheckInvariants(); err != nil {
-				return res, fmt.Errorf("sim: invariant violation after %d writes: %w", demand, err)
-			}
-		}
-		if page, failed := dev.Failed(); failed {
-			res.FailedPage = page
-			break
+	// Fast-forward when the source can emit runs/sweeps; the bulk loop
+	// serves per-request (bit-identically) for schemes that don't opt in.
+	// The per-request loop remains for plain sources and for callers that
+	// pin the baseline path.
+	var err error
+	if cfg.DisableFastForward {
+		err = l.perRequestLoop(src)
+	} else {
+		switch bs := src.(type) {
+		case RunSource:
+			err = l.bulkLoop(bs.NextRun, false)
+		case SweepSource:
+			err = l.bulkLoop(bs.NextSweep, true)
+		default:
+			err = l.perRequestLoop(src)
 		}
 	}
+	if err != nil {
+		return l.res, err
+	}
+
+	res, blocked, cycles := l.res, l.blocked, l.cycles
 	if res.FailedPage < 0 {
 		res.Capped = true
 	}

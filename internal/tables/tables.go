@@ -49,6 +49,12 @@ func (r *Remap) Phys(la int) int { return r.toPhys[la] }
 // Log returns the logical page currently mapped to physical page pa.
 func (r *Remap) Log(pa int) int { return r.toLog[pa] }
 
+// PhysTable returns the LA → PA table itself, for bulk readers that walk
+// many entries in a hot loop (one slice load instead of a method call per
+// lookup). Callers must treat the slice as read-only, and must not hold it
+// across a Swap.
+func (r *Remap) PhysTable() []int { return r.toPhys }
+
 // SwapLogical exchanges the physical pages backing logical addresses la1 and
 // la2. This is the mapping update that accompanies a data swap.
 func (r *Remap) SwapLogical(la1, la2 int) {

@@ -269,6 +269,74 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 	return cost
 }
 
+// WriteRun implements wl.RunWriter. BWL's per-write state machine is
+// deterministic between events, so the distance to the next event is exact:
+// the move trigger fires at the write that both lifts sinceMove[la] to
+// MoveThreshold and exhausts coldLock[la], and the epoch rotates at the
+// write that drains epochLeft. A cold-silent first write may probe the
+// demotion path (which mutates the weak-candidate cursor even on failure),
+// so it is never absorbed — the caller serves it with a normal Write.
+//
+// The bulk update replays exactly what the absorbed writes would have done:
+// count-min and membership filter inserts (AddN keeps even the internal add
+// counters aligned), the coldLock decrements, the sinceMove and epochLeft
+// advances, and the device writes (WriteN clamps at a mid-run failure, in
+// which case every side effect uses the clamped count, matching a per-write
+// path that stops at the failing write).
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	key := uint64(la)
+	if s.epochs >= silenceEpochs {
+		silent := true
+		for _, f := range s.seen {
+			if f.Contains(key) {
+				silent = false
+				break
+			}
+		}
+		if silent && s.dev.Endurance(s.rt.Phys(la)) > s.medianEnd {
+			return wl.Cost{}, 0
+		}
+	}
+	// First write that triggers a re-placement: sinceMove must reach the
+	// threshold and the cold trust window must be exhausted.
+	jMove := int64(s.moveThresh) - int64(s.sinceMove[la])
+	if cl := int64(s.coldLock[la]); cl > jMove {
+		jMove = cl
+	}
+	if jMove < 1 {
+		jMove = 1
+	}
+	k := int(jMove) - 1
+	if e := s.epochLeft - 1; e < k {
+		k = e
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	applied := s.dev.WriteN(s.rt.Phys(la), tag, k)
+	s.cbf.AddN(key, applied)
+	s.seen[s.seenIdx].AddN(key, applied)
+	if cl := s.coldLock[la]; cl > 0 {
+		dec := uint32(applied)
+		if dec > cl {
+			dec = cl
+		}
+		s.coldLock[la] = cl - dec
+	}
+	s.sinceMove[la] += uint32(applied)
+	s.stats.DemandWrites += uint64(applied)
+	s.epochLeft -= applied
+	return wl.Cost{
+		DeviceWrites: 1,
+		ExtraCycles: wl.ControlCycles +
+			2*s.cfg.FilterHashes*wl.TableCycles +
+			s.cfg.CandidateProbes*wl.TableCycles,
+	}, applied
+}
+
 // pickStrong returns a physical page to promote onto: the first of up to
 // CandidateProbes candidates from the endurance ranking with meaningfully
 // more remaining life than the current page, whose occupant is neither hot

@@ -31,6 +31,22 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 	return wl.Cost{DeviceWrites: 1}
 }
 
+// WriteRun implements wl.RunWriter. NOWL has no internal events, so the
+// whole run is absorbed in one bulk device write (modulo mid-run failure).
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	applied := s.dev.WriteN(la, tag, n)
+	s.stats.DemandWrites += uint64(applied)
+	return wl.Cost{DeviceWrites: 1}, applied
+}
+
+// WriteSweep implements wl.SweepWriter: the identity mapping turns a logical
+// sweep into a physical range write.
+func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	applied := s.dev.WriteRange(la, tag, n)
+	s.stats.DemandWrites += uint64(applied)
+	return wl.Cost{DeviceWrites: 1}, applied
+}
+
 // Read implements wl.Scheme.
 func (s *Scheme) Read(la int) (uint64, wl.Cost) {
 	s.stats.DemandReads++

@@ -80,6 +80,13 @@ type Scheme struct {
 	regions []region
 	src     *rng.Xorshift
 	stats   wl.Stats
+
+	// composed caches the full la → pa mapping. The per-region XOR mapping
+	// is frozen between refresh steps and each step re-maps exactly one
+	// address pair, so the cache is maintained with two entry updates per
+	// step and lets the bulk paths resolve addresses with one table load.
+	// CheckInvariants verifies it against the live computation.
+	composed []int
 }
 
 // New builds a Security Refresh scheme over dev.
@@ -114,6 +121,11 @@ func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 		r.keyOld = 0
 		r.keyNew = s.src.Intn(size)
 	}
+	s.composed = make([]int, pages)
+	for la := range s.composed {
+		r, o := s.locate(la)
+		s.composed[la] = r.base + r.phys(o)
+	}
 	return s, nil
 }
 
@@ -142,6 +154,48 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 		cost.Add(s.refreshStep(r))
 	}
 	return cost
+}
+
+// WriteRun implements wl.RunWriter: a same-address run stays in one region
+// and hits one physical page (the mapping is frozen between refresh steps),
+// so the event-free prefix — RefreshInterval − sinceRef − 1 writes — is one
+// bulk device write.
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	r, _ := s.locate(la)
+	k := s.cfg.RefreshInterval - r.sinceRef - 1
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if n < k {
+		k = n
+	}
+	applied := s.dev.WriteN(s.composed[la], tag, k)
+	s.stats.DemandWrites += uint64(applied)
+	r.sinceRef += applied
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + wl.TableCycles}, applied
+}
+
+// WriteSweep implements wl.SweepWriter. The sweep is clamped to the current
+// region (each region counts its own demand writes) and to that region's
+// event-free budget; the physical addresses come straight from the composed
+// la → pa cache, which is contiguous in la, so the whole batch is one
+// gather-write over a cache slice.
+func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	r, o := s.locate(la)
+	k := s.cfg.RefreshInterval - r.sinceRef - 1
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if rem := r.size - o; k > rem {
+		k = rem
+	}
+	if n < k {
+		k = n
+	}
+	applied := s.dev.WriteSeq(s.composed[la:la+k], tag)
+	s.stats.DemandWrites += uint64(applied)
+	r.sinceRef += applied
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + wl.TableCycles}, applied
 }
 
 // refreshStep advances the region's sweep by one address, swapping the pair
@@ -179,6 +233,14 @@ func (s *Scheme) refreshStep(r *region) wl.Cost {
 		}
 	}
 	r.sweep++
+	// The step re-mapped offsets o and o^d (both now under the new key);
+	// refresh their composed entries. Key retirement at the top of the step
+	// moves no address (every offset is refreshed at that point), so these
+	// two updates are the only ones the cache ever needs.
+	s.composed[r.base+o] = r.base + (o ^ r.keyNew)
+	if d != 0 {
+		s.composed[r.base+partner] = r.base + (partner ^ r.keyNew)
+	}
 	return cost
 }
 
@@ -212,6 +274,10 @@ func (s *Scheme) CheckInvariants() error {
 				return fmt.Errorf("secref: region %d physical offset %d claimed twice", i, p)
 			}
 			seen[p] = true
+			if s.composed[r.base+o] != r.base+p {
+				return fmt.Errorf("secref: composed cache stale: LA %d cached %d, live %d",
+					r.base+o, s.composed[r.base+o], r.base+p)
+			}
 		}
 	}
 	want := s.stats.DemandWrites + s.stats.SwapWrites

@@ -85,6 +85,15 @@ type TwoLevel struct {
 
 	sinceOuter int
 	sinceInner []int
+
+	regionShift int // log2(inner region size); size is a power of two
+
+	// composed caches the full la → pa mapping. The two-level mapping is
+	// frozen between refresh steps, and each step re-maps exactly one
+	// address pair, so the cache is maintained with two entry updates per
+	// step and lets the bulk paths resolve addresses with one table load.
+	// CheckInvariants verifies it against the live two-level computation.
+	composed []int
 }
 
 // NewTwoLevel builds a two-level Security Refresh scheme over dev.
@@ -112,6 +121,7 @@ func NewTwoLevel(dev *pcm.Device, cfg TwoLevelConfig) (*TwoLevel, error) {
 		src:        rng.NewXorshift(cfg.Seed),
 		sinceInner: make([]int, cfg.Regions),
 	}
+	s.regionShift = bits.TrailingZeros(uint(size))
 	s.outer = region{base: 0, size: pages, mask: pages - 1}
 	s.outer.keyNew = s.src.Intn(pages)
 	s.inner = make([]region, cfg.Regions)
@@ -121,6 +131,10 @@ func NewTwoLevel(dev *pcm.Device, cfg TwoLevelConfig) (*TwoLevel, error) {
 		r.size = size
 		r.mask = size - 1
 		r.keyNew = s.src.Intn(size)
+	}
+	s.composed = make([]int, pages)
+	for la := range s.composed {
+		s.composed[la] = s.physical(la)
 	}
 	return s, nil
 }
@@ -159,11 +173,80 @@ func (s *TwoLevel) Write(la int, tag uint64) wl.Cost {
 	return cost
 }
 
+// WriteRun implements wl.RunWriter: a same-address run resolves to one
+// physical page under the frozen two-level mapping, and the event-free
+// budget is the tighter of the inner region's and the outer level's
+// distances to their next refresh steps.
+func (s *TwoLevel) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	pa := s.composed[la]
+	ri := pa >> s.regionShift
+	k := s.cfg.InnerInterval - s.sinceInner[ri] - 1
+	if ko := s.cfg.OuterInterval - s.sinceOuter - 1; ko < k {
+		k = ko
+	}
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if n < k {
+		k = n
+	}
+	applied := s.dev.WriteN(pa, tag, k)
+	s.stats.DemandWrites += uint64(applied)
+	s.sinceInner[ri] += applied
+	s.sinceOuter += applied
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + 2*wl.TableCycles}, applied
+}
+
+// WriteSweep implements wl.SweepWriter. Consecutive logical addresses
+// scatter across inner regions under the outer XOR remap, so each write
+// checks its own region's inner budget; the sweep is clamped by the outer
+// budget up front and stops (absorbed so far) when the next write would
+// trigger an inner step. The batch is the prefix composed[la:la+k] of the
+// composed la → pa cache — the budget scan only counts per-region writes —
+// and is applied with one gather-write; if the device fails mid-batch, the
+// inner counters of the unapplied suffix are rolled back so scheme state
+// matches the sequential semantics exactly.
+func (s *TwoLevel) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	cost := wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + 2*wl.TableCycles}
+	if ko := s.cfg.OuterInterval - s.sinceOuter - 1; n > ko {
+		n = ko
+	}
+	if n <= 0 {
+		return cost, 0
+	}
+	shift := s.regionShift
+	inner := s.cfg.InnerInterval
+	since := s.sinceInner
+	batch := s.composed[la : la+n]
+	k := n
+	for i, pa := range batch {
+		ri := pa >> shift
+		if since[ri]+1 >= inner {
+			k = i
+			break
+		}
+		since[ri]++
+	}
+	if k == 0 {
+		return cost, 0
+	}
+	batch = batch[:k]
+	applied := s.dev.WriteSeq(batch, tag)
+	for j := applied; j < k; j++ {
+		since[batch[j]>>shift]--
+	}
+	s.stats.DemandWrites += uint64(applied)
+	s.sinceOuter += applied
+	return cost, applied
+}
+
 // innerStep advances a region's inner sweep by one address.
 func (s *TwoLevel) innerStep(r *region) wl.Cost {
 	var cost wl.Cost
 	cost.ExtraCycles = wl.ControlCycles + wl.RNGCycles
 	if r.sweep >= r.size {
+		// Retiring the old key does not move any address (every offset is
+		// refreshed at this point), so the composed cache stays valid.
 		r.keyOld = r.keyNew
 		r.keyNew = s.src.Intn(r.size)
 		r.sweep = 0
@@ -176,7 +259,23 @@ func (s *TwoLevel) innerStep(r *region) wl.Cost {
 		s.swapPages(paO, paP, &cost)
 	}
 	r.sweep++
+	// The step re-mapped intermediate offsets o and o^d (both now under the
+	// new key); refresh their composed entries.
+	s.recompose(r.base + o)
+	if d != 0 {
+		s.recompose(r.base + (o ^ d))
+	}
 	return cost
+}
+
+// recompose refreshes the composed-cache entry of the logical address that
+// currently resolves to intermediate address mid.
+func (s *TwoLevel) recompose(mid int) {
+	la := mid ^ s.outer.keyOld
+	if s.outer.refreshed(la) {
+		la = mid ^ s.outer.keyNew
+	}
+	s.composed[la] = s.innerPhys(mid)
 }
 
 // outerStep advances the outer sweep by one address. The outer level swaps
@@ -202,6 +301,12 @@ func (s *TwoLevel) outerStep() wl.Cost {
 		s.swapPages(pa1, pa2, &cost)
 	}
 	r.sweep++
+	// The step re-mapped logical addresses o and o^d (both now under the new
+	// outer key); refresh their composed entries.
+	s.composed[o] = s.physical(o)
+	if d != 0 {
+		s.composed[o^d] = s.physical(o ^ d)
+	}
 	return cost
 }
 
@@ -252,6 +357,10 @@ func (s *TwoLevel) CheckInvariants() error {
 			return fmt.Errorf("secref: physical page %d claimed twice", pa)
 		}
 		seen[pa] = true
+		if s.composed[la] != pa {
+			return fmt.Errorf("secref: composed cache stale: LA %d cached %d, live %d",
+				la, s.composed[la], pa)
+		}
 	}
 	want := s.stats.DemandWrites + s.stats.SwapWrites
 	if got := s.dev.TotalWrites(); got != want {

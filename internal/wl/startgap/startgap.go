@@ -55,6 +55,8 @@ type Scheme struct {
 	sinceMove int
 	// Affine randomization: ra*la + rb mod logical, with gcd(ra, logical)=1.
 	ra, rb int
+
+	scratch []int // physical-address batch for WriteSweep
 }
 
 // New builds a Start-Gap scheme over dev.
@@ -130,6 +132,67 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 		cost.Add(s.moveGap())
 	}
 	return cost
+}
+
+// pureWrites returns how many more demand writes are guaranteed event-free:
+// the gap moves on the write that takes sinceMove to GapInterval, so
+// GapInterval − sinceMove − 1 writes can pass without a move.
+func (s *Scheme) pureWrites() int {
+	return s.cfg.GapInterval - s.sinceMove - 1
+}
+
+// WriteRun implements wl.RunWriter: the event-free prefix of a same-address
+// run maps to one physical page (the remap table is frozen between gap
+// moves), so it collapses into a single bulk device write.
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	k := s.pureWrites()
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if n < k {
+		k = n
+	}
+	pa := s.rt.Phys(s.randomized(la))
+	applied := s.dev.WriteN(pa, tag, k)
+	s.stats.DemandWrites += uint64(applied)
+	s.sinceMove += applied
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles}, applied
+}
+
+// WriteSweep implements wl.SweepWriter. The affine randomization steps
+// incrementally under la+1 — randomized(la+1) = randomized(la) + ra mod
+// logical — so the sweep walks the remap table without re-deriving the
+// randomization per write. Addresses are resolved into a scratch batch and
+// applied with one gather-write, keeping the device's hot fields in
+// registers across the batch.
+func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	k := s.pureWrites()
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if n < k {
+		k = n
+	}
+	if cap(s.scratch) < k {
+		s.scratch = make([]int, k)
+	}
+	buf := s.scratch[:k]
+	phys := s.rt.PhysTable()
+	ila := s.randomized(la)
+	ra, logical := s.ra, s.logical
+	for i := range buf {
+		buf[i] = phys[ila]
+		// Branch-free wrap (compiles to a conditional move; the wrap branch
+		// itself is data-dependent and mispredicts).
+		ila += ra
+		if t := ila - logical; t >= 0 {
+			ila = t
+		}
+	}
+	applied := s.dev.WriteSeq(buf, tag)
+	s.stats.DemandWrites += uint64(applied)
+	s.sinceMove += applied
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles}, applied
 }
 
 // moveGap shifts the gap one slot backwards: the physical page preceding the

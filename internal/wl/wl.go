@@ -90,6 +90,48 @@ type Checker interface {
 	CheckInvariants() error
 }
 
+// RunWriter is the optional fast-forward interface for same-address write
+// runs. Deterministic schemes implement it by computing the distance to
+// their next internal event (gap move, refresh step, epoch rotation, …) in
+// O(1) and bulk-applying the event-free prefix of the run.
+//
+// Contract (see DESIGN.md "Run-length fast-forward"):
+//
+//   - WriteRun(la, tag, n) may absorb 0 <= absorbed <= n writes. The device
+//     state, scheme state, Stats, and cost totals after the call must be
+//     bit-identical to `absorbed` sequential Write calls, where the i-th
+//     call (0-indexed) is Write(la, tag+i).
+//   - Every absorbed write must be event-free and share the identical
+//     per-write Cost (the returned cost; Blocked must be false). The caller
+//     accounts cost × absorbed.
+//   - absorbed == 0 means the next write triggers an internal event (or the
+//     scheme cannot prove it won't); the caller serves it with a normal
+//     Write call and retries the remainder.
+//   - Mid-run failure: if one of the absorbed writes wears a page to its
+//     endurance, the run stops at (and including) that write — absorbed
+//     counts it, nothing after it is applied (pcm.Device.WriteN clamps).
+//
+// Probabilistic schemes (TWL, WRL) must not implement RunWriter: their
+// per-write RNG draws make every write a potential event.
+type RunWriter interface {
+	WriteRun(la int, tag uint64, n int) (Cost, int)
+}
+
+// SweepWriter is the optional fast-forward interface for consecutive-address
+// write sweeps: the i-th write (0-indexed) of the sweep is Write(la+i, tag+i)
+// and la+n-1 must be a valid logical address. The contract is otherwise
+// identical to RunWriter — bit-identical state versus the sequential calls,
+// uniform unblocked per-write cost for the absorbed prefix, absorbed == 0
+// meaning "serve one write normally and retry", and mid-sweep failure
+// stopping the sweep at the write that wore a page out.
+//
+// Scan-style sources emit sweeps; schemes whose address mapping advances
+// incrementally under la+1 (identity, affine, XOR-in-region) can absorb
+// them without per-write table walks.
+type SweepWriter interface {
+	WriteSweep(la int, tag uint64, n int) (Cost, int)
+}
+
 // Latency constants for controller-side structures, from Table 1
 // ("TWL control logic latency / table latency: 5/10-cycle, RNG latency:
 // 4-cycle"). The baselines reuse the table latency for their own metadata
