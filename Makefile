@@ -1,10 +1,10 @@
 # Tier-1 verification (referenced from ROADMAP.md): formatting, static
-# analysis, build, the full race-enabled test suite and a single-iteration
-# benchmark smoke (catches bit-rot in the hot-loop benchmarks without
-# spending benchmark time).
-.PHONY: check fmt vet build test bench benchsmoke
+# analysis (go vet plus the project's own twlint suite), build, the full
+# race-enabled test suite and a single-iteration benchmark smoke (catches
+# bit-rot in the hot-loop benchmarks without spending benchmark time).
+.PHONY: check fmt vet lint build test bench benchsmoke fuzzsmoke
 
-check: fmt vet build test benchsmoke
+check: fmt vet lint build test benchsmoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -14,6 +14,12 @@ fmt:
 
 vet:
 	go vet ./...
+
+# Project-specific static contracts (determinism, registry, cost accounting,
+# locks/atomics) — see DESIGN.md "Static contracts". Exceptions live in
+# twlint.allow.
+lint:
+	go run ./cmd/twlint ./...
 
 build:
 	go build ./...
@@ -28,3 +34,13 @@ benchsmoke:
 # the per-write path, written to BENCH_PR2.json (ns/write and speedup).
 bench:
 	go run ./cmd/benchff -out BENCH_PR2.json
+
+# Short fuzz pass over every fuzz target (CI runs this; locally useful
+# before touching the trace readers, the Feistel network or the remap table).
+fuzzsmoke:
+	go test ./internal/trace -run '^$$' -fuzz FuzzTextReader -fuzztime 10s
+	go test ./internal/trace -run '^$$' -fuzz FuzzBinaryReader -fuzztime 10s
+	go test ./internal/trace -run '^$$' -fuzz FuzzNVMainReader -fuzztime 10s
+	go test ./internal/trace -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime 10s
+	go test ./internal/rng -run '^$$' -fuzz FuzzFeistelBijection -fuzztime 10s
+	go test ./internal/tables -run '^$$' -fuzz FuzzRemapBijection -fuzztime 10s

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"twl"
+	"twl/internal/clock"
 )
 
 // runWriter / sweepWriter mirror the internal fast-forward interfaces
@@ -192,8 +193,8 @@ func runOnce(sys twl.SystemConfig, scheme string, mode twl.AttackMode, seed uint
 	} else {
 		_, fastPath = s.(runWriter)
 	}
-	start := time.Now()
+	start := clock.Now()
 	res, err := twl.RunLifetimeWith(s, src, twl.LifetimeConfig{DisableFastForward: disableFF})
-	elapsed := time.Since(start)
+	elapsed := clock.Since(start)
 	return res, elapsed, fastPath, err
 }

@@ -55,7 +55,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		fatal(err)
-		defer f.Close()
+		defer func() { fatal(f.Close()) }()
 		w = f
 	}
 
@@ -103,7 +103,7 @@ func inspectTrace(path string, binary bool) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read side: Close cannot lose data
 
 	read := func() (trace.Record, error) { return trace.Record{}, io.EOF }
 	if binary {

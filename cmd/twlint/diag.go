@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: which analyzer fired, where, and why.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"` // file:line:col
+	Message  string `json:"message"`
+}
+
+// String renders the go-vet-style "pos: [analyzer] message" line.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// diag builds a Diagnostic at pos, shortening absolute paths to be relative
+// to the working directory so golden files and CI logs are stable.
+func diag(fset *token.FileSet, pos token.Pos, analyzer, format string, args ...any) Diagnostic {
+	p := fset.Position(pos)
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// sortDiags orders findings by position then analyzer, for stable output.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos != ds[j].Pos {
+			return ds[i].Pos < ds[j].Pos
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// Allowlist holds the sanctioned exceptions read from the allowlist file.
+// Each entry scopes one analyzer to one package (every finding suppressed)
+// or to one named declaration inside it.
+type Allowlist struct {
+	entries map[string]bool // "analyzer pkgpath" or "analyzer pkgpath decl"
+}
+
+// ParseAllowlist reads an allowlist file: one entry per line, formatted
+//
+//	<analyzer> <package-path> [<decl-name>]
+//
+// with '#' comments and blank lines ignored. A missing file is an error —
+// the allowlist is an explicit contract, not an optional hint.
+func ParseAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read side: Close cannot lose data
+	a := &Allowlist{entries: map[string]bool{}}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("%s:%d: want \"analyzer pkgpath [decl]\", got %q", path, line, text)
+		}
+		a.entries[strings.Join(fields, " ")] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Allows reports whether the analyzer is sanctioned for the whole package or
+// for the specific declaration (function or type name) the finding sits in.
+func (a *Allowlist) Allows(analyzer, pkgPath, decl string) bool {
+	if a == nil {
+		return false
+	}
+	if a.entries[analyzer+" "+pkgPath] {
+		return true
+	}
+	return decl != "" && a.entries[analyzer+" "+pkgPath+" "+decl]
+}
+
+// analyzer is one static-analysis pass. run sees a single package plus the
+// world (cross-package context) and returns its findings; the driver handles
+// allowlist filtering, sorting and output.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(p *Package, w *world) []Diagnostic
+}
+
+// analyzers is the full suite in the order DESIGN.md documents them.
+var analyzers = []*analyzer{
+	determinismAnalyzer,
+	registryAnalyzer,
+	costAnalyzer,
+	locksAnalyzer,
+}
+
+// world is the cross-package context shared by all analyzers over one run:
+// every loaded package (the registry analyzer reasons about the whole
+// module) and the wl contract types resolved once.
+type world struct {
+	pkgs  []*Package
+	allow *Allowlist
+	// wl is the wl package as seen by importers. Packages other than wl
+	// itself resolve wl types through the shared importer, so identity
+	// comparisons against these hold.
+	wl *types.Package
+}
+
+// wlContract resolves the wl package's contract types from the viewpoint of
+// p: the wl package's own declarations when p IS twl/internal/wl (its
+// self-checked types differ from the imported ones), the shared imported
+// package otherwise.
+func (w *world) wlContract(p *Package) *types.Package {
+	if p.Types.Path() == wlPath {
+		return p.Types
+	}
+	return w.wl
+}
+
+const wlPath = "twl/internal/wl"
+
+// lookupInterface fetches a named interface's underlying *types.Interface
+// from pkg.
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// isWLNamed reports whether t is the named type wl.<name>, matching by path
+// and name so it holds across independently checked instances of wl.
+func isWLNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == wlPath && obj.Name() == name
+}

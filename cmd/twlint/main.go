@@ -1,0 +1,117 @@
+// Command twlint is the project's static-analysis suite. It machine-checks
+// the contracts the simulator's correctness claims rest on but the compiler
+// cannot see (DESIGN.md "Static contracts"):
+//
+//   - determinism: simulation packages must not read wall clocks
+//     (time.Now/time.Since outside internal/clock), draw from the global
+//     math/rand source, or leak map iteration order into results.
+//   - registry: every internal/wl/<name> package exporting a scheme must
+//     register it with wl.Register, and every bulk writer
+//     (wl.RunWriter/wl.SweepWriter) must expose wl.Checker — bulk shortcuts
+//     are only trusted when they can be invariant-checked.
+//   - cost: call sites must not silently discard a returned wl.Cost or
+//     error in non-test code; dropped costs corrupt Figure 9, dropped
+//     errors hide failures.
+//   - locks: structs carrying sync or sync/atomic state must not be copied
+//     by value, and a field accessed through sync/atomic must not also be
+//     accessed as a plain variable.
+//
+// Built entirely on the stdlib go/ast, go/parser, go/token and go/types
+// packages (module policy: no external dependencies). Usage:
+//
+//	go run ./cmd/twlint [-json] [-allow twlint.allow] ./...
+//
+// Exit status 1 when findings remain after allowlist filtering; the
+// allowlist file grants the few sanctioned exceptions (see ParseAllowlist
+// for the format).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (CI mode)")
+	allowPath := flag.String("allow", "twlint.allow", "allowlist file; empty disables")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var allow *Allowlist
+	if *allowPath != "" {
+		var err error
+		allow, err = ParseAllowlist(*allowPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	diags, err := Run(patterns, allow)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "twlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// Run loads the packages matching patterns and applies every analyzer,
+// returning the allowlist-filtered findings in stable order.
+func Run(patterns []string, allow *Allowlist) ([]Diagnostic, error) {
+	l := newLoader()
+	pkgs, err := l.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return runAnalyzers(l, pkgs, allow)
+}
+
+// runAnalyzers applies the suite to already-loaded packages.
+func runAnalyzers(l *loader, pkgs []*Package, allow *Allowlist) ([]Diagnostic, error) {
+	w, err := newWorld(l, pkgs, allow)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, p := range pkgs {
+			diags = append(diags, a.run(p, w)...)
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// newWorld resolves the cross-package context: the imported view of the wl
+// contract package. Fixture runs that never touch wl-dependent analyzers
+// still resolve it — the module always contains it.
+func newWorld(l *loader, pkgs []*Package, allow *Allowlist) (*world, error) {
+	wlPkg, err := l.imp.Import(wlPath)
+	if err != nil {
+		return nil, fmt.Errorf("importing %s: %v", wlPath, err)
+	}
+	return &world{pkgs: pkgs, allow: allow, wl: wlPkg}, nil
+}

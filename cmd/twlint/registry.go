@@ -1,0 +1,102 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// registryAnalyzer enforces the scheme-registry contracts:
+//
+//  1. Every twl/internal/wl/<name> package that exports a type implementing
+//     wl.Scheme must register it (wl.Register, or Registry.Add/MustAdd) —
+//     an unregistered scheme compiles but is unreachable from the cmd tools
+//     and the experiment grids, which select schemes by name.
+//  2. Every concrete type implementing the bulk-write fast paths
+//     (wl.RunWriter or wl.SweepWriter) must also implement wl.Checker:
+//     the fast-forward engine's shortcuts are only trusted because paranoid
+//     mode and the differential tests can invariant-check them
+//     (DESIGN.md "Run-length fast-forward").
+var registryAnalyzer = &analyzer{
+	name: "registry",
+	doc:  "schemes must be registered; bulk writers must be invariant-checkable",
+}
+
+func init() { registryAnalyzer.run = runRegistry }
+
+func runRegistry(p *Package, w *world) []Diagnostic {
+	wlPkg := w.wlContract(p)
+	scheme := lookupInterface(wlPkg, "Scheme")
+	checker := lookupInterface(wlPkg, "Checker")
+	runWriter := lookupInterface(wlPkg, "RunWriter")
+	sweepWriter := lookupInterface(wlPkg, "SweepWriter")
+	if scheme == nil || checker == nil || runWriter == nil || sweepWriter == nil {
+		return nil // wl package shape changed; the build would have caught real breakage
+	}
+
+	var diags []Diagnostic
+	schemePkg := isSchemePkg(p.Path)
+	registers := schemePkg && callsRegister(p)
+
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || obj.IsAlias() {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		ptr := types.NewPointer(named)
+
+		// Rule 2: bulk writers expose invariant checking.
+		implBulk := types.Implements(named, runWriter) || types.Implements(ptr, runWriter) ||
+			types.Implements(named, sweepWriter) || types.Implements(ptr, sweepWriter)
+		if implBulk && !types.Implements(named, checker) && !types.Implements(ptr, checker) {
+			diags = report(diags, p, w, registryAnalyzer, obj.Pos(),
+				"%s implements a bulk-write fast path (wl.RunWriter/wl.SweepWriter) but not wl.Checker; bulk shortcuts must be invariant-checkable", name)
+		}
+
+		// Rule 1: exported schemes in scheme packages must be registered.
+		if schemePkg && obj.Exported() && !registers &&
+			(types.Implements(named, scheme) || types.Implements(ptr, scheme)) {
+			diags = report(diags, p, w, registryAnalyzer, obj.Pos(),
+				"package %s exports scheme %s but never calls wl.Register; unregistered schemes are unreachable by name", p.Path, name)
+		}
+	}
+	return diags
+}
+
+// isSchemePkg matches twl/internal/wl/<single-segment> scheme packages.
+func isSchemePkg(path string) bool {
+	rest, ok := strings.CutPrefix(path, wlPath+"/")
+	return ok && rest != "" && !strings.Contains(rest, "/")
+}
+
+// callsRegister reports whether any file in p calls wl.Register or a
+// Registry Add/MustAdd method.
+func callsRegister(p *Package) bool {
+	found := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			obj := calleeObj(p, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != wlPath {
+				return true
+			}
+			switch obj.Name() {
+			case "Register", "Add", "MustAdd":
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

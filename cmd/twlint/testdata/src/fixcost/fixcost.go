@@ -1,0 +1,39 @@
+// Package fixcost exercises the cost analyzer: statements that silently
+// discard a returned wl.Cost or error, next to the sanctioned patterns
+// (explicit _ assignment, fmt printing, in-memory sinks).
+package fixcost
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"twl/internal/wl"
+)
+
+func write() wl.Cost                 { return wl.Cost{} }
+func writeChecked() (wl.Cost, error) { return wl.Cost{}, nil }
+func flush() error                   { return nil }
+
+// Leaky drops every contract-relevant result: five statements, six findings
+// (writeChecked drops a wl.Cost and an error at once).
+func Leaky() {
+	write()
+	writeChecked()
+	flush()
+	defer flush()
+	go flush()
+}
+
+// Careful consumes or explicitly discards everything: clean.
+func Careful() {
+	_ = write()
+	if _, err := writeChecked(); err != nil {
+		return
+	}
+	fmt.Println("status")
+	fmt.Fprintln(os.Stderr, "status")
+	var b strings.Builder
+	b.WriteString("status")
+	_ = b.String()
+}

@@ -1,0 +1,102 @@
+// Package fixdet exercises the determinism analyzer: wall-clock reads,
+// global math/rand draws, and map-iteration-order leaks, next to the benign
+// shapes the analyzer must accept (seeded generators, key-indexed writes,
+// commutative accumulation, append-then-sort).
+package fixdet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clocks reads the wall clock twice; both reads are findings.
+func Clocks() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// GlobalRand draws from the shared global source: finding.
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+// SeededRand builds an explicitly seeded generator; the constructor and the
+// method calls on it are clean.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// LeakyAppend records iteration order without restoring a total order:
+// finding.
+func LeakyAppend(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedAppend restores a total order immediately after the loop: clean.
+func SortedAppend(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Argmax selects by iteration order on count ties: finding.
+func Argmax(m map[int]int) (best int) {
+	for k := range m {
+		if m[k] > m[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// LastWins keeps whichever key the map handed out last: finding.
+func LastWins(m map[int]int) int {
+	var last int
+	for k := range m {
+		last = k
+	}
+	return last
+}
+
+// Sum accumulates commutatively: clean.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Double writes an outer map indexed by the loop key — distinct keys, no
+// order dependence: clean.
+func Double(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// Stream sends in iteration order: finding.
+func Stream(m map[int]int, ch chan<- int) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// Dump prints in iteration order: finding.
+func Dump(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

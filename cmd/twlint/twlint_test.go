@@ -1,0 +1,152 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// fixtures maps each analyzer to its fixture package. The synthetic import
+// paths matter: determinism only covers twl/internal/..., and registry's
+// rule 1 only engages for packages directly under twl/internal/wl/.
+var fixtures = []struct {
+	analyzer *analyzer
+	dir      string
+	path     string
+}{
+	{determinismAnalyzer, "fixdet", "twl/internal/fixdet"},
+	{registryAnalyzer, "fixreg", "twl/internal/wl/fixreg"},
+	{costAnalyzer, "fixcost", "twl/internal/fixcost"},
+	{locksAnalyzer, "fixlocks", "twl/internal/fixlocks"},
+}
+
+// loadFixture type-checks one fixture package and builds the analysis world
+// around it.
+func loadFixture(t *testing.T, l *loader, dir, path string, allow *Allowlist) (*Package, *world) {
+	t.Helper()
+	p, err := l.LoadDir(filepath.Join("testdata", "src", dir), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := newWorld(l, []*Package{p}, allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, w
+}
+
+func render(diags []Diagnostic) string {
+	sortDiags(diags)
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestAnalyzersMatchGolden proves every analyzer fires on its fixture and
+// that the exact set of findings — positions and messages — is pinned by a
+// golden file. Run with -update to regenerate after intentional changes.
+func TestAnalyzersMatchGolden(t *testing.T) {
+	l := newLoader()
+	for _, fx := range fixtures {
+		t.Run(fx.analyzer.name, func(t *testing.T) {
+			p, w := loadFixture(t, l, fx.dir, fx.path, nil)
+			got := render(fx.analyzer.run(p, w))
+			golden := filepath.Join("testdata", fx.dir+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s:\ngot:\n%swant:\n%s", golden, got, want)
+			}
+			if got == "" {
+				t.Error("fixture produced no findings; the analyzer cannot be proven to fire")
+			}
+		})
+	}
+}
+
+// TestAllowlistScoping: a package-wide entry silences every finding; a
+// declaration-scoped entry silences only the findings inside it.
+func TestAllowlistScoping(t *testing.T) {
+	l := newLoader()
+	writeAllow := func(content string) *Allowlist {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "allow")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		a, err := ParseAllowlist(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	p, w := loadFixture(t, l, "fixdet", "twl/internal/fixdet", nil)
+	all := determinismAnalyzer.run(p, w)
+	if len(all) == 0 {
+		t.Fatal("fixture produced no findings to filter")
+	}
+
+	w.allow = writeAllow("# everything sanctioned\ndeterminism twl/internal/fixdet\n")
+	if got := determinismAnalyzer.run(p, w); len(got) != 0 {
+		t.Fatalf("package-wide allow left %d findings: %v", len(got), got)
+	}
+
+	w.allow = writeAllow("determinism twl/internal/fixdet Clocks\n")
+	got := determinismAnalyzer.run(p, w)
+	if len(got) != len(all)-2 {
+		t.Fatalf("decl-scoped allow: got %d findings, want %d (the two Clocks findings removed)", len(got), len(all)-2)
+	}
+	for _, d := range got {
+		if strings.Contains(d.Message, "wall-clock") {
+			t.Fatalf("Clocks finding survived the decl-scoped allow: %v", d)
+		}
+	}
+}
+
+func TestParseAllowlistRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte("toomany fields in this line here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAllowlist(path); err == nil {
+		t.Fatal("malformed allowlist accepted")
+	}
+	if _, err := ParseAllowlist(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing allowlist file accepted")
+	}
+}
+
+// TestCleanTree is the self-test the Makefile's lint target relies on: the
+// repository's own packages produce zero findings under the checked-in
+// allowlist.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	allow, err := ParseAllowlist(filepath.Join("..", "..", "twlint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]string{"twl/..."}, allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding on clean tree: %v", d)
+	}
+}

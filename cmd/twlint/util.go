@@ -1,0 +1,115 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// declName returns the name of the top-level declaration enclosing pos in p
+// ("" when outside any), for allowlist entries scoped to one function or
+// type.
+func declName(p *Package, pos token.Pos) string {
+	for _, f := range p.Files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if pos < d.Pos() || pos >= d.End() {
+				continue
+			}
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				return d.Name.Name
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if pos < spec.Pos() || pos >= spec.End() {
+						continue
+					}
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						return s.Name.Name
+					case *ast.ValueSpec:
+						if len(s.Names) > 0 {
+							return s.Names[0].Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// report appends a finding unless the allowlist sanctions the enclosing
+// declaration (or the whole package) for this analyzer.
+func report(diags []Diagnostic, p *Package, w *world, a *analyzer, pos token.Pos, format string, args ...any) []Diagnostic {
+	if w.allow.Allows(a.name, p.Path, declName(p, pos)) {
+		return diags
+	}
+	return append(diags, diag(p.Fset, pos, a.name, format, args...))
+}
+
+// calleeObj resolves the object a call expression invokes, looking through
+// parentheses. It returns nil for indirect calls and conversions.
+func calleeObj(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[fun]; sel != nil {
+			return sel.Obj() // method or field
+		}
+		return p.Info.Uses[fun.Sel] // package-qualified function
+	}
+	return nil
+}
+
+// pkgFunc reports whether obj is the package-level function pkgPath.name.
+func pkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fromPkg reports whether obj is any package-level function of pkgPath.
+func fromPkg(obj types.Object, pkgPath string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && fn.Pkg().Path() == pkgPath
+}
+
+// rootIdent walks to the base identifier of an lvalue chain
+// (d.cur[la].x → d); nil when the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// internalScope reports whether the package is simulation code the
+// determinism contract covers: the twl facade and everything under
+// twl/internal/.
+func internalScope(path string) bool {
+	return path == "twl" || strings.HasPrefix(path, "twl/internal/")
+}

@@ -161,7 +161,7 @@ func printConfig() {
 	tb.AddRowf("TWL toss-up interval", "32")
 	tb.AddRowf("RNG / control / table latency", "4 / 5 / 10 cycles")
 	tb.AddRowf("schemes", strings.Join(twl.SchemeNames(), ", "))
-	tb.Render(os.Stdout)
+	fatal(tb.Render(os.Stdout))
 	fmt.Println()
 	for _, d := range twl.SchemeDocs() {
 		fmt.Println("  " + d)

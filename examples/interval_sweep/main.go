@@ -50,7 +50,7 @@ func main() {
 		}
 		for i := 0; i < 200000; i++ {
 			if addr, write := g.Next(); write {
-				engine.Write(addr, uint64(i))
+				_ = engine.Write(addr, uint64(i)) // ratio experiment: only Stats matter
 			}
 		}
 		ratio := engine.Stats().SwapWriteRatio()

@@ -285,7 +285,7 @@ func RunFig7(sys SystemConfig, cfg Fig7Config) ([]Fig7Point, error) {
 			for i := 0; i < cfg.RequestsPerBenchmark; i++ {
 				addr, write := g.Next()
 				if write {
-					e.Write(addr, uint64(i))
+					_ = e.Write(addr, uint64(i)) // ratio experiment: only Stats matter
 				}
 			}
 			ratios = append(ratios, math.Max(e.Stats().SwapWriteRatio(), 1e-9))

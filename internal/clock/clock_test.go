@@ -1,0 +1,68 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b.Before(a) {
+		t.Fatalf("clock went backwards: %v then %v", a, b)
+	}
+	if d := Since(a); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestSetForTestSwapsAndRestores(t *testing.T) {
+	fixed := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	restore := SetForTest(func() time.Time { return fixed })
+	if got := Now(); !got.Equal(fixed) {
+		t.Fatalf("Now() = %v, want %v", got, fixed)
+	}
+	if d := Since(fixed.Add(-3 * time.Second)); d != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", d)
+	}
+	restore()
+	if got := Now(); got.Equal(fixed) {
+		t.Fatal("restore did not reinstate the real clock")
+	}
+}
+
+func TestStepperIsDeterministic(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := Stepper(start, time.Second)
+	for i := 0; i < 5; i++ {
+		want := start.Add(time.Duration(i) * time.Second)
+		if got := src(); !got.Equal(want) {
+			t.Fatalf("call %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestStepperConcurrentCallsAreDistinct(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := Stepper(start, time.Millisecond)
+	const n = 64
+	var wg sync.WaitGroup
+	times := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			times[i] = src()
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, ts := range times {
+		ns := ts.UnixNano()
+		if seen[ns] {
+			t.Fatalf("duplicate timestamp %v", ts)
+		}
+		seen[ns] = true
+	}
+}

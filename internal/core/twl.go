@@ -349,14 +349,52 @@ func (e *Engine) PartnerOf(la int) int {
 	return e.rt.Log(e.swpt.Partner(e.rt.Phys(la)))
 }
 
-// CheckInvariants implements wl.Checker: RT bijection, SWPT involution, and
-// wear conservation (device writes = demand + swap writes).
+// CheckInvariants implements wl.Checker: RT bijection, SWPT involution
+// (mutual, fixed-point-free partners — pairs are disjoint), table geometry
+// against the device, pair-representative and counter consistency, and wear
+// conservation (device writes = demand + swap writes).
 func (e *Engine) CheckInvariants() error {
 	if err := e.rt.CheckBijection(); err != nil {
 		return err
 	}
 	if err := e.swpt.Check(); err != nil {
 		return err
+	}
+	pages := e.dev.Pages()
+	if e.rt.Len() != pages || e.swpt.Len() != pages || len(e.et) != pages ||
+		e.wct.Len() != pages || len(e.pairIdx) != pages || len(e.ipsCount) != pages {
+		return fmt.Errorf("core: table sizes RT=%d SWPT=%d ET=%d WCT=%d pairIdx=%d ips=%d do not all match %d pages",
+			e.rt.Len(), e.swpt.Len(), len(e.et), e.wct.Len(), len(e.pairIdx), len(e.ipsCount), pages)
+	}
+	for pa := 0; pa < pages; pa++ {
+		if e.et[pa] == 0 {
+			return fmt.Errorf("core: ET[%d] is zero; the toss-up ratio would divide by zero", pa)
+		}
+		// pairIdx caches the pair representative: the smaller member.
+		rep := pa
+		if q := e.swpt.Partner(pa); q < rep {
+			rep = q
+		}
+		if e.pairIdx[pa] != rep {
+			return fmt.Errorf("core: pairIdx[%d] = %d, want representative %d", pa, e.pairIdx[pa], rep)
+		}
+		// The WCT is indexed by representative only: non-representative
+		// entries are never touched, and a live countdown is cleared before
+		// it reaches the interval.
+		if v := int(e.wct.Get(pa)); e.pairIdx[pa] != pa && v != 0 {
+			return fmt.Errorf("core: WCT[%d] = %d but %d is not a pair representative", pa, v, pa)
+		} else if v >= e.cfg.TossUpInterval && e.cfg.TossUpInterval < tables.MaxInterval {
+			return fmt.Errorf("core: WCT[%d] = %d reached the toss-up interval %d without being cleared",
+				pa, v, e.cfg.TossUpInterval)
+		}
+	}
+	if e.cfg.InterPairSwapInterval > 0 {
+		for la, c := range e.ipsCount {
+			if c >= uint32(e.cfg.InterPairSwapInterval) {
+				return fmt.Errorf("core: ipsCount[%d] = %d reached the inter-pair swap interval %d without resetting",
+					la, c, e.cfg.InterPairSwapInterval)
+			}
+		}
 	}
 	want := e.stats.DemandWrites + e.stats.SwapWrites
 	if got := e.dev.TotalWrites(); got != want {

@@ -562,3 +562,55 @@ func BenchmarkTWLWrite(b *testing.B) {
 		e.Write(addrs[i&(1<<16-1)], uint64(i))
 	}
 }
+
+// TestCheckInvariantsCatchesCorruption: each deepened invariant trips on the
+// specific corruption it guards against.
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	fresh := func() *Engine {
+		e, err := New(newDevice(t, 32, 1e6, 9), DefaultConfig(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			e.Write(i%e.dev.Pages(), uint64(i))
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("healthy engine failed: %v", err)
+		}
+		return e
+	}
+	cases := []struct {
+		name    string
+		corrupt func(e *Engine)
+	}{
+		{"zero endurance entry", func(e *Engine) { e.et[3] = 0 }},
+		{"ET size mismatch", func(e *Engine) { e.et = e.et[:len(e.et)-1] }},
+		{"wrong pair representative", func(e *Engine) { e.pairIdx[0] = e.dev.Pages() - 1 }},
+		{"WCT on non-representative", func(e *Engine) {
+			for pa := range e.pairIdx {
+				if e.pairIdx[pa] != pa {
+					e.wct.Inc(pa)
+					return
+				}
+			}
+		}},
+		{"WCT past interval", func(e *Engine) {
+			rep := e.pairIdx[0]
+			e.wct.Clear(rep)
+			for i := 0; i < e.cfg.TossUpInterval; i++ {
+				e.wct.Inc(rep)
+			}
+		}},
+		{"ips counter past interval", func(e *Engine) { e.ipsCount[1] = uint32(e.cfg.InterPairSwapInterval) }},
+		{"stats desynced from device", func(e *Engine) { e.stats.SwapWrites++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := fresh()
+			tc.corrupt(e)
+			if err := e.CheckInvariants(); err == nil {
+				t.Fatal("corruption not detected")
+			}
+		})
+	}
+}

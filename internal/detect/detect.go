@@ -133,10 +133,19 @@ func (d *Detector) closeWindow() {
 }
 
 // concentration returns the hottest address's share of the window and
-// records which address it was.
+// records which address it was. The argmax walks the addresses in sorted
+// order so that count ties resolve to the lowest address — selecting inside
+// the map range itself would make the reported hottest address depend on
+// Go's randomized iteration order.
 func (d *Detector) concentration() float64 {
+	keys := make([]int, 0, len(d.cur))
+	for la := range d.cur {
+		keys = append(keys, la)
+	}
+	sort.Ints(keys)
 	total, max := 0, 0
-	for la, c := range d.cur {
+	for _, la := range keys {
+		c := d.cur[la]
 		total += c
 		if c > max {
 			max = c
@@ -170,7 +179,10 @@ func (d *Detector) correlation() float64 {
 	return pearson(xs, ys)
 }
 
-// topUnion returns the union of the top-k addresses of both windows.
+// topUnion returns the union of the top-k addresses of both windows. The
+// selection is deterministic: keys are sorted ascending before the stable
+// by-count sort, so count ties resolve to the lowest address instead of to
+// whatever the map handed out first.
 func topUnion(a, b map[int]int, k int) []int {
 	seen := map[int]bool{}
 	for _, m := range []map[int]int{a, b} {
@@ -178,7 +190,8 @@ func topUnion(a, b map[int]int, k int) []int {
 		for la := range m {
 			keys = append(keys, la)
 		}
-		sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+		sort.Ints(keys)
+		sort.SliceStable(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
 		for i := 0; i < len(keys) && i < k; i++ {
 			seen[keys[i]] = true
 		}

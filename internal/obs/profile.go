@@ -20,7 +20,7 @@ func StartProfile(prefix string) (stop func() error, err error) {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	if err := pprof.StartCPUProfile(cpu); err != nil {
-		cpu.Close()
+		_ = cpu.Close() // the StartCPUProfile error takes precedence
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	return func() error {
@@ -34,7 +34,7 @@ func StartProfile(prefix string) (stop func() error, err error) {
 		}
 		runtime.GC() // settle allocations so the snapshot reflects live data
 		if err := pprof.WriteHeapProfile(heap); err != nil {
-			heap.Close()
+			_ = heap.Close() // the WriteHeapProfile error takes precedence
 			return fmt.Errorf("obs: heap profile: %w", err)
 		}
 		return heap.Close()

@@ -60,35 +60,35 @@ func (t *Tracer) Err() error {
 }
 
 // Emit writes one event line. The sequence number and event name come
-// first, then the fields in order.
-func (t *Tracer) Emit(event string, fields ...Field) error {
+// first, then the fields in order. Failures are latched rather than
+// returned — Err reports the first one — so emission sites in hot loops
+// stay single statements and cannot silently drop an error.
+func (t *Tracer) Emit(event string, fields ...Field) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
-		return t.err
+		return
 	}
 	t.seq++
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, `{"seq":%d,"event":`, t.seq)
 	if err := t.appendJSON(&buf, event); err != nil {
-		return err
+		return
 	}
 	for _, f := range fields {
 		buf.WriteByte(',')
 		if err := t.appendJSON(&buf, f.Key); err != nil {
-			return err
+			return
 		}
 		buf.WriteByte(':')
 		if err := t.appendJSON(&buf, f.Value); err != nil {
-			return err
+			return
 		}
 	}
 	buf.WriteString("}\n")
 	if _, err := t.w.Write(buf.Bytes()); err != nil {
 		t.err = err
-		return err
 	}
-	return nil
 }
 
 // appendJSON marshals v onto buf, latching encoding errors.

@@ -16,10 +16,9 @@ func TestTracerEmitsOrderedJSONL(t *testing.T) {
 	if tr.Every() != 100 {
 		t.Fatalf("Every = %d, want 100", tr.Every())
 	}
-	if err := tr.Emit("start", F("scheme", "TWL_swp"), F("pages", 512)); err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.Emit("progress", F("writes", 100), F("hist", []int{1, 2, 3})); err != nil {
+	tr.Emit("start", F("scheme", "TWL_swp"), F("pages", 512))
+	tr.Emit("progress", F("writes", 100), F("hist", []int{1, 2, 3}))
+	if err := tr.Err(); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -55,14 +54,13 @@ func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
 func TestTracerLatchesWriteError(t *testing.T) {
 	werr := errors.New("disk full")
 	tr := NewTracer(failWriter{werr}, 1)
-	if err := tr.Emit("x"); !errors.Is(err, werr) {
-		t.Fatalf("Emit err = %v, want %v", err, werr)
-	}
-	if err := tr.Emit("y"); !errors.Is(err, werr) {
-		t.Fatalf("latched err = %v, want %v", err, werr)
-	}
+	tr.Emit("x")
 	if !errors.Is(tr.Err(), werr) {
-		t.Fatalf("Err() = %v, want %v", tr.Err(), werr)
+		t.Fatalf("Err() after failed Emit = %v, want %v", tr.Err(), werr)
+	}
+	tr.Emit("y") // latched: must stay a no-op and keep the first error
+	if !errors.Is(tr.Err(), werr) {
+		t.Fatalf("latched Err() = %v, want %v", tr.Err(), werr)
 	}
 }
 

@@ -77,6 +77,6 @@ func (h *Heatmap) shade(v, max float64) rune {
 // String renders to a string.
 func (h *Heatmap) String() string {
 	var b strings.Builder
-	h.Render(&b)
+	_ = h.Render(&b) // strings.Builder never errors
 	return b.String()
 }

@@ -96,7 +96,7 @@ func (t *Table) Render(w io.Writer) error {
 // String renders the table to a string.
 func (t *Table) String() string {
 	var b strings.Builder
-	t.Render(&b) // strings.Builder never errors
+	_ = t.Render(&b) // strings.Builder never errors
 	return b.String()
 }
 
@@ -158,6 +158,6 @@ func (s *Series) Render(w io.Writer, maxWidth int) error {
 // String renders the chart to a string with a 40-character bar width.
 func (s *Series) String() string {
 	var b strings.Builder
-	s.Render(&b, 40)
+	_ = s.Render(&b, 40) // strings.Builder never errors
 	return b.String()
 }

@@ -1,0 +1,34 @@
+package tables
+
+import "testing"
+
+// FuzzRemapBijection drives a small remap table with an arbitrary swap
+// program decoded from the fuzz input — each byte encodes one SwapLogical or
+// SwapPhysical call — and demands that the bijection invariant and the
+// forward/inverse consistency survive every prefix of the program.
+func FuzzRemapBijection(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xFF, 0x81, 0x7E})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const n = 8
+		r := NewRemap(n)
+		for i, op := range program {
+			a := int(op>>1) % n
+			b := int(op>>4) % n
+			if op&1 == 0 {
+				r.SwapLogical(a, b)
+			} else {
+				r.SwapPhysical(a, b)
+			}
+			if err := r.CheckBijection(); err != nil {
+				t.Fatalf("after op %d (%#x): %v", i, op, err)
+			}
+		}
+		for la := 0; la < n; la++ {
+			if got := r.Log(r.Phys(la)); got != la {
+				t.Fatalf("Log(Phys(%d)) = %d", la, got)
+			}
+		}
+	})
+}

@@ -217,6 +217,9 @@ func (c *Counter) Inc(i int) uint8 {
 	return c.counts[i]
 }
 
+// Len returns the number of entries.
+func (c *Counter) Len() int { return len(c.counts) }
+
 // Get returns entry i.
 func (c *Counter) Get(i int) uint8 { return c.counts[i] }
 

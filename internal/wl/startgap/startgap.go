@@ -225,10 +225,35 @@ func (s *Scheme) Stats() wl.Stats { return s.stats }
 // Device implements wl.Scheme.
 func (s *Scheme) Device() *pcm.Device { return s.dev }
 
-// CheckInvariants implements wl.Checker.
+// CheckInvariants implements wl.Checker: remap bijection, gap-pointer
+// consistency, randomization-layer bijectivity, and wear conservation.
 func (s *Scheme) CheckInvariants() error {
 	if err := s.rt.CheckBijection(); err != nil {
 		return err
+	}
+	if s.rt.Len() != s.dev.Pages() {
+		return fmt.Errorf("startgap: remap table covers %d pages, device has %d",
+			s.rt.Len(), s.dev.Pages())
+	}
+	// Geometry: exactly one spare slot, owned by the dummy logical index.
+	if s.logical != s.dev.Pages()-1 || s.gapLA != s.logical {
+		return fmt.Errorf("startgap: gap geometry broken: logical=%d gapLA=%d pages=%d",
+			s.logical, s.gapLA, s.dev.Pages())
+	}
+	// Gap pointer: the per-interval counter must sit strictly inside the
+	// interval — moveGap resets it, so reaching GapInterval means a move was
+	// skipped.
+	if s.sinceMove < 0 || s.sinceMove >= s.cfg.GapInterval {
+		return fmt.Errorf("startgap: sinceMove %d outside [0,%d)", s.sinceMove, s.cfg.GapInterval)
+	}
+	// Randomization layer: ra*la+rb mod logical is bijective iff
+	// gcd(ra, logical) == 1; rb is only reduced once, so it must be in range.
+	if s.ra < 1 || gcd(s.ra, s.logical) != 1 {
+		return fmt.Errorf("startgap: multiplier %d not coprime with %d; randomization is not a bijection",
+			s.ra, s.logical)
+	}
+	if s.rb < 0 || (s.rb >= s.logical && s.logical > 1) {
+		return fmt.Errorf("startgap: offset %d outside [0,%d)", s.rb, s.logical)
 	}
 	want := s.stats.DemandWrites + s.stats.SwapWrites
 	if got := s.dev.TotalWrites(); got != want {

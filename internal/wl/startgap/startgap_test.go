@@ -182,3 +182,41 @@ func TestReadAfterRotation(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckInvariantsCatchesCorruption: each deepened invariant trips on the
+// specific corruption it guards against.
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	fresh := func() *Scheme {
+		s, err := New(wltest.NewDevice(t, 33, 7), DefaultConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			s.Write(i%s.LogicalPages(), uint64(i))
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("healthy scheme failed: %v", err)
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		corrupt func(s *Scheme)
+	}{
+		{"gap counter past interval", func(s *Scheme) { s.sinceMove = s.cfg.GapInterval }},
+		{"negative gap counter", func(s *Scheme) { s.sinceMove = -1 }},
+		{"non-coprime multiplier", func(s *Scheme) { s.ra = s.logical }},
+		{"offset out of range", func(s *Scheme) { s.rb = s.logical }},
+		{"gap geometry broken", func(s *Scheme) { s.gapLA = 0 }},
+		{"stats desynced from device", func(s *Scheme) { s.stats.SwapWrites++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fresh()
+			tc.corrupt(s)
+			if err := s.CheckInvariants(); err == nil {
+				t.Fatal("corruption not detected")
+			}
+		})
+	}
+}

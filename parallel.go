@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twl/internal/clock"
 	"twl/internal/obs"
 )
 
@@ -24,7 +25,7 @@ type cellTask struct {
 
 // cellObserver records per-cell timing and worker utilization into an obs
 // registry and/or tracer. Either may be nil; a fully nil observer adds no
-// time.Now calls to the run.
+// clock reads to the run.
 type cellObserver struct {
 	reg     *obs.Registry
 	tr      *obs.Tracer
@@ -55,9 +56,9 @@ func (o *cellObserver) observe(t cellTask) error {
 	if o == nil {
 		return t.run()
 	}
-	start := time.Now()
+	start := clock.Now()
 	err := t.run()
-	elapsed := time.Since(start)
+	elapsed := clock.Since(start)
 	o.busyNs.Add(int64(elapsed))
 	if o.cells != nil {
 		o.cells.Inc()
@@ -93,11 +94,11 @@ func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) error {
 	obsv := newCellObserver(reg, tr, workers)
 	start := time.Time{}
 	if obsv != nil {
-		start = time.Now()
+		start = clock.Now()
 	}
 	err := dispatchCells(workers, obsv, tasks)
 	if obsv != nil {
-		obsv.finish(workers, time.Since(start))
+		obsv.finish(workers, clock.Since(start))
 	}
 	return err
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"twl/internal/clock"
 )
 
 // Replication runs an experiment across independent seeds and aggregates
@@ -19,6 +22,10 @@ type ReplicateResult struct {
 	StdDev float64
 	Min    float64
 	Max    float64
+	// Durations holds the wall time of each run and Elapsed their sum, read
+	// through internal/clock so tests can inject a deterministic source.
+	Durations []time.Duration
+	Elapsed   time.Duration
 }
 
 // Replicate runs measure over n independently seeded systems derived from
@@ -33,10 +40,14 @@ func Replicate(base SystemConfig, n int, measure func(sys SystemConfig) (float64
 	for i := 0; i < n; i++ {
 		sys := base
 		sys.Seed = base.Seed + uint64(i)
+		start := clock.Now()
 		v, err := measure(sys)
+		d := clock.Since(start)
 		if err != nil {
 			return ReplicateResult{}, fmt.Errorf("twl: replicate run %d: %w", i, err)
 		}
+		res.Durations = append(res.Durations, d)
+		res.Elapsed += d
 		res.Values = append(res.Values, v)
 		sum += v
 		if v < res.Min {

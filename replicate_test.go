@@ -4,6 +4,9 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
+
+	"twl/internal/clock"
 )
 
 func TestReplicateAggregates(t *testing.T) {
@@ -25,6 +28,32 @@ func TestReplicateAggregates(t *testing.T) {
 	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
 	if math.Abs(res.StdDev-want) > 1e-12 {
 		t.Fatalf("stddev %v, want %v", res.StdDev, want)
+	}
+}
+
+// TestReplicateDurationsInjectable: run durations come from internal/clock,
+// so a deterministic source makes them exact — each run brackets one measure
+// call with two clock reads, giving one step per run under a Stepper.
+func TestReplicateDurationsInjectable(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	restore := clock.SetForTest(clock.Stepper(start, time.Second))
+	defer restore()
+	res, err := Replicate(SmallSystem(10), 3, func(SystemConfig) (float64, error) {
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 3 {
+		t.Fatalf("got %d durations, want 3", len(res.Durations))
+	}
+	for i, d := range res.Durations {
+		if d != time.Second {
+			t.Fatalf("run %d duration %v, want 1s", i, d)
+		}
+	}
+	if res.Elapsed != 3*time.Second {
+		t.Fatalf("elapsed %v, want 3s", res.Elapsed)
 	}
 }
 
