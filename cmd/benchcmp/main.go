@@ -1,0 +1,117 @@
+// Command benchcmp compares two benchff reports, joined on scheme × attack,
+// and flags per-write-path regressions: configurations whose
+// perwrite_ns_per_write grew by more than the threshold between the old and
+// new report. The per-write path is the simulator's correctness baseline —
+// every scheme runs it, and the differential tests diff against it — so a
+// slowdown there taxes every benchmark and every long differential run.
+//
+//	go run ./cmd/benchcmp BENCH_PR2.json BENCH_PR4.json
+//
+// Exits 1 when any joined configuration regressed beyond -threshold, 2 on
+// usage or read errors. Configurations present in only one report are
+// listed but never fatal (the grid legitimately grows as schemes gain fast
+// paths).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Scheme     string  `json:"scheme"`
+	Attack     string  `json:"attack"`
+	FastPath   bool    `json:"fast_path"`
+	PerWriteNs float64 `json:"perwrite_ns_per_write"`
+	FastNs     float64 `json:"fast_ns_per_write"`
+}
+
+type report struct {
+	Results []result `json:"results"`
+}
+
+func load(path string) (map[string]result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	out := make(map[string]result, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Scheme+"/"+r.Attack] = r
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "fatal per-write-path slowdown as a fraction (0.20 = +20%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.20] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldRes, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(oldRes))
+	for k := range oldRes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressed := false
+	joined := 0
+	for _, k := range keys {
+		o := oldRes[k]
+		n, ok := newRes[k]
+		if !ok {
+			fmt.Printf("%-20s only in %s\n", k, oldPath)
+			continue
+		}
+		joined++
+		delta := n.PerWriteNs/o.PerWriteNs - 1
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Printf("%-20s perwrite %8.2f -> %8.2f ns/write  (%+6.1f%%)%s\n",
+			k, o.PerWriteNs, n.PerWriteNs, delta*100, mark)
+	}
+	newOnly := 0
+	for k := range newRes {
+		if _, ok := oldRes[k]; !ok {
+			newOnly++
+		}
+	}
+	if newOnly > 0 {
+		fmt.Printf("%d configurations only in %s (grid grew)\n", newOnly, newPath)
+	}
+	if joined == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no common configurations to compare")
+		os.Exit(2)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchcmp: per-write path regressed beyond %.0f%% on at least one configuration\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("per-write path within %.0f%% on all %d common configurations\n", *threshold*100, joined)
+}

@@ -5,10 +5,16 @@
 // best-of-N wall clock, which suppresses scheduler noise; the two paths are
 // verified to produce identical results before a ratio is reported.
 //
-// The output JSON (BENCH_PR2.json in the repo root) seeds the repo's
-// benchmark trajectory:
+// The grid enumerates every registered scheme (twl.SchemeNames), so a new
+// scheme lands in the benchmark without touching this tool, and the tool
+// fails if a scheme implementing the fast-path interfaces is excluded from
+// the grid — the benchmark trajectory must not silently lose coverage.
 //
-//	go run ./cmd/benchff -out BENCH_PR2.json
+// The output JSON (BENCH_PR4.json in the repo root) extends the repo's
+// benchmark trajectory (BENCH_PR2.json holds the deterministic-scheme
+// baseline):
+//
+//	go run ./cmd/benchff -out BENCH_PR4.json
 package main
 
 import (
@@ -45,6 +51,12 @@ type result struct {
 	Speedup      float64 `json:"speedup"`
 }
 
+// coverage reports which fast-path interfaces a scheme implements.
+type coverage struct {
+	Run   bool `json:"run"`
+	Sweep bool `json:"sweep"`
+}
+
 type report struct {
 	Bench   string `json:"bench"`
 	Command string `json:"command"`
@@ -54,17 +66,26 @@ type report struct {
 		SigmaFraction float64 `json:"sigma_fraction"`
 		Seed          uint64  `json:"seed"`
 	} `json:"system"`
-	Reps    int                `json:"reps"`
-	Results []result           `json:"results"`
-	Geomean map[string]float64 `json:"geomean_speedup_fast_path_schemes"`
+	Reps     int                 `json:"reps"`
+	Coverage map[string]coverage `json:"fast_path_coverage"`
+	Results  []result            `json:"results"`
+	Geomean  map[string]float64  `json:"geomean_speedup_fast_path_schemes"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path (empty: stdout only)")
-	reps := flag.Int("reps", 5, "timed repetitions per configuration (best-of)")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path (empty: stdout only)")
+	reps := flag.Int("reps", 10, "timed repetitions per configuration (best-of)")
 	seed := flag.Uint64("seed", 1, "system and scheme seed")
-	schemes := flag.String("schemes", "NOWL,StartGap,SR,SR2,BWL", "comma-separated scheme names")
+	schemes := flag.String("schemes", "", "comma-separated scheme names (default: every registered scheme)")
 	flag.Parse()
+
+	names := twl.SchemeNames()
+	if *schemes != "" {
+		names = nil
+		for _, name := range strings.Split(*schemes, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
 
 	sys := twl.SmallSystem(*seed)
 	var rep report
@@ -75,7 +96,19 @@ func main() {
 	rep.System.SigmaFraction = sys.SigmaFraction
 	rep.System.Seed = sys.Seed
 	rep.Reps = *reps
+	rep.Coverage = map[string]coverage{}
 	rep.Geomean = map[string]float64{}
+
+	benched := map[string]bool{}
+	for _, name := range names {
+		cov, err := probeCoverage(sys, name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchff: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Coverage[name] = cov
+		benched[name] = true
+	}
 
 	modes := []struct {
 		name string
@@ -87,8 +120,7 @@ func main() {
 
 	for _, m := range modes {
 		logSum, logN := 0.0, 0
-		for _, name := range strings.Split(*schemes, ",") {
-			name = strings.TrimSpace(name)
+		for _, name := range names {
 			r, err := measure(sys, name, m.name, m.mode, *reps, *seed)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchff: %s/%s: %v\n", m.name, name, err)
@@ -110,6 +142,28 @@ func main() {
 		}
 	}
 
+	// The benchmark grid must cover every scheme with a fast path: a
+	// RunWriter scheme missing from the grid means the trajectory silently
+	// stops tracking a path this repo optimized.
+	missing := false
+	for _, name := range twl.SchemeNames() {
+		if benched[name] {
+			continue
+		}
+		cov, err := probeCoverage(sys, name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchff: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if cov.Run || cov.Sweep {
+			fmt.Fprintf(os.Stderr, "benchff: scheme %s implements the fast path but is not in the benchmark grid\n", name)
+			missing = true
+		}
+	}
+	if missing {
+		os.Exit(1)
+	}
+
 	if *out != "" {
 		buf, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
@@ -123,6 +177,23 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// probeCoverage instantiates a scheme once to see which fast-path
+// interfaces it implements.
+func probeCoverage(sys twl.SystemConfig, scheme string, seed uint64) (coverage, error) {
+	dev, err := sys.NewDevice()
+	if err != nil {
+		return coverage{}, err
+	}
+	s, err := twl.NewScheme(scheme, dev, seed)
+	if err != nil {
+		return coverage{}, err
+	}
+	var cov coverage
+	_, cov.Run = s.(runWriter)
+	_, cov.Sweep = s.(sweepWriter)
+	return cov, nil
 }
 
 // measure times full lifetime runs for one scheme × attack, interleaving the

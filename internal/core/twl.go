@@ -125,13 +125,18 @@ type Engine struct {
 	et       []uint64        // ET as the engine sees it (true or noisy)
 	wct      *tables.Counter // per-pair toss-up countdown (7-bit)
 	pairIdx  []int           // physical page → pair representative (min member)
+	repLA    []int           // logical page → pair representative (pairIdx[rt.Phys(la)])
 	ipsCount []uint32        // per-LA writes since last inter-pair swap
 	src      alphaSource
 	stats    wl.Stats
+
+	scratch []int // physical-address batch for WriteSweep
 }
 
 var _ wl.Scheme = (*Engine)(nil)
 var _ wl.Checker = (*Engine)(nil)
+var _ wl.RunWriter = (*Engine)(nil)
+var _ wl.SweepWriter = (*Engine)(nil)
 
 // New builds a TWL engine over dev.
 func New(dev *pcm.Device, cfg Config) (*Engine, error) {
@@ -173,6 +178,15 @@ func New(dev *pcm.Device, cfg Config) (*Engine, error) {
 			rep = q
 		}
 		e.pairIdx[pa] = rep
+	}
+	// repLA caches pairIdx[rt.Phys(la)] so the sweep fast path loads one
+	// table, not a three-deep pointer chase. A toss-up swap exchanges la
+	// with the logical owner of its *pair partner* — both sides of the same
+	// pair, same representative — so only the inter-pair swap moves a
+	// logical page across pairs and has to maintain this cache.
+	e.repLA = make([]int, dev.Pages())
+	for la := range e.repLA {
+		e.repLA[la] = e.pairIdx[e.rt.Phys(la)]
 	}
 	return e, nil
 }
@@ -305,6 +319,139 @@ func (e *Engine) Write(la int, tag uint64) wl.Cost {
 	return cost
 }
 
+// tossUpDistance returns how many more writes to a pair fire the next
+// toss-up, given the pair representative's current WCT value v. The
+// per-write path fires when Inc yields zero (the 7-bit wrap, covering
+// interval == tables.MaxInterval) or a value >= interval; the engine clears
+// the counter whenever a toss-up fires, so live states satisfy v < interval
+// and the distance is interval − v. States past the interval (reachable only
+// through fuzzing, never in a running engine) fire on the very next write:
+// either the increment wraps 127 → 0 or it lands even further past the
+// interval.
+func tossUpDistance(v uint8, interval int) int {
+	if int(v) >= interval {
+		return 1
+	}
+	return interval - int(v)
+}
+
+// ipsDistance returns how many more writes to a logical page fire its next
+// inter-pair swap, given its current counter c: the swap fires on the write
+// that lifts the counter to the interval. As with tossUpDistance, counters
+// at or past the interval (fuzz-only states) fire immediately.
+func ipsDistance(c uint32, interval int) int {
+	if int64(c) >= int64(interval) {
+		return 1
+	}
+	return interval - int(c)
+}
+
+// runHorizon returns how many of the next n same-address writes to la
+// (currently backed by pa) are guaranteed event-free: strictly before the
+// next inter-pair swap of la and strictly before the next toss-up of pa's
+// pair. Both events consume RNG, so the horizon is exactly the stretch the
+// fast path may absorb without desynchronizing the α stream from the
+// per-write path.
+func (e *Engine) runHorizon(la, pa, n int) int {
+	k := n
+	if e.cfg.InterPairSwapInterval > 0 {
+		if d := ipsDistance(e.ipsCount[la], e.cfg.InterPairSwapInterval) - 1; d < k {
+			k = d
+		}
+	}
+	if d := tossUpDistance(e.wct.Get(e.pairIdx[pa]), e.cfg.TossUpInterval) - 1; d < k {
+		k = d
+	}
+	return k
+}
+
+// WriteRun implements wl.RunWriter via an event-horizon fast-forward: a
+// same-address run maps to one physical page until the next RNG-bearing
+// event (toss-up or inter-pair swap), so the event-free prefix collapses
+// into a single bulk device write plus O(1) counter advances. absorbed == 0
+// signals that the next write fires an event; the caller serves it through
+// Write, which performs the toss-up / inter-pair swap with exactly the RNG
+// draws — in exactly the order — the per-write path would make.
+func (e *Engine) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	pa := e.rt.Phys(la)
+	k := e.runHorizon(la, pa, n)
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	// WriteN clamps at a mid-run wear-out, counting the failing write.
+	applied := e.dev.WriteN(pa, tag, k)
+	e.stats.DemandWrites += uint64(applied)
+	if e.cfg.InterPairSwapInterval > 0 {
+		e.ipsCount[la] += uint32(applied)
+	}
+	e.wct.Add(e.pairIdx[pa], applied)
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + 2*wl.TableCycles}, applied
+}
+
+// WriteSweep implements wl.SweepWriter. A sweep touches distinct logical
+// pages, but consecutive addresses can share a toss-up pair (and therefore a
+// WCT entry), so the walk advances the counters write by write — mutating
+// them exactly as the per-write path would before its device write — and
+// stops at the first write that would fire an event. The batched physical
+// addresses then go to the device as one gather-write.
+func (e *Engine) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	if cap(e.scratch) < n {
+		e.scratch = make([]int, n)
+	}
+	buf := e.scratch[:0]
+	// Subslice the per-LA tables to the sweep window so the walk's loads
+	// index by i with no bounds checks (wct is indexed by representative and
+	// keeps its check).
+	phys := e.rt.PhysTable()[la : la+n]
+	wct := e.wct.Raw()
+	reps := e.repLA[la : la+n]
+	ips := e.ipsCount[la : la+n]
+	ipsI, tossI := uint32(e.cfg.InterPairSwapInterval), e.cfg.TossUpInterval
+	// While every page keeps more than n writes of endurance, no write in
+	// this sweep can wear a page out and the per-write failure pre-check is
+	// skipped. Near end of life the walk checks Remaining before each write:
+	// a write that wears pa out stops the sweep with that write applied, and
+	// the walk must stop with it so the counter mutations never cover writes
+	// WriteSeq clamps away — within one sweep the RT bijection keeps the
+	// physical addresses distinct, so the pre-check agrees exactly with
+	// WriteSeq's failure clamp.
+	safe := e.dev.MinRemainingAtLeast(uint64(n) + 1)
+	for i := range ips {
+		// The next write here fires the inter-pair swap when its counter is
+		// one short of the interval (c+1 >= interval ⇔ ipsDistance == 1; a
+		// live counter sits below the interval, so c+1 cannot overflow).
+		c := ips[i]
+		if ipsI > 0 && c+1 >= ipsI {
+			break
+		}
+		rep := reps[i]
+		v := wct[rep]
+		// The next Inc fires the toss-up when it reaches the interval or
+		// wraps (v+1 >= interval covers both: a live counter stays below the
+		// interval ≤ 128, so the only wrap candidate is v = 127 under
+		// interval 128, and 128 >= 128). Otherwise v+1 < interval needs no
+		// 7-bit mask.
+		if int(v)+1 >= tossI {
+			break
+		}
+		wct[rep] = v + 1
+		if ipsI > 0 {
+			ips[i] = c + 1
+		}
+		pa := phys[i]
+		buf = append(buf, pa)
+		if !safe && e.dev.Remaining(pa) <= 1 {
+			break
+		}
+	}
+	if len(buf) == 0 {
+		return wl.Cost{}, 0
+	}
+	applied := e.dev.WriteSeq(buf, tag)
+	e.stats.DemandWrites += uint64(applied)
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + 2*wl.TableCycles}, applied
+}
+
 // interPairSwap exchanges la's physical page with that of a uniformly
 // random logical page and serves the demand write at the new location.
 // Like swap-then-write it costs two page writes: the displaced data migrates
@@ -320,6 +467,7 @@ func (e *Engine) interPairSwap(la int, tag uint64) wl.Cost {
 	e.dev.Write(paLA, e.dev.Peek(paOther)) // displaced data moves here
 	e.dev.Write(paOther, tag)              // demand write at la's new home
 	e.rt.SwapLogical(la, other)
+	e.repLA[la], e.repLA[other] = e.repLA[other], e.repLA[la]
 	e.stats.Swaps++
 	e.stats.SwapWrites++
 	cost.DeviceWrites += 2
@@ -362,9 +510,16 @@ func (e *Engine) CheckInvariants() error {
 	}
 	pages := e.dev.Pages()
 	if e.rt.Len() != pages || e.swpt.Len() != pages || len(e.et) != pages ||
-		e.wct.Len() != pages || len(e.pairIdx) != pages || len(e.ipsCount) != pages {
-		return fmt.Errorf("core: table sizes RT=%d SWPT=%d ET=%d WCT=%d pairIdx=%d ips=%d do not all match %d pages",
-			e.rt.Len(), e.swpt.Len(), len(e.et), e.wct.Len(), len(e.pairIdx), len(e.ipsCount), pages)
+		e.wct.Len() != pages || len(e.pairIdx) != pages || len(e.ipsCount) != pages ||
+		len(e.repLA) != pages {
+		return fmt.Errorf("core: table sizes RT=%d SWPT=%d ET=%d WCT=%d pairIdx=%d ips=%d repLA=%d do not all match %d pages",
+			e.rt.Len(), e.swpt.Len(), len(e.et), e.wct.Len(), len(e.pairIdx), len(e.ipsCount), len(e.repLA), pages)
+	}
+	for la := 0; la < pages; la++ {
+		if e.repLA[la] != e.pairIdx[e.rt.Phys(la)] {
+			return fmt.Errorf("core: repLA[%d] = %d, want pairIdx[rt.Phys] = %d",
+				la, e.repLA[la], e.pairIdx[e.rt.Phys(la)])
+		}
 	}
 	for pa := 0; pa < pages; pa++ {
 		if e.et[pa] == 0 {

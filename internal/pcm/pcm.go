@@ -114,6 +114,18 @@ type Device struct {
 	reads       uint64
 	failedPage  int
 	failedCount int
+
+	// slack/slackAt form a conservative watermark over min-remaining
+	// endurance: slack was the exact minimum when the device had written
+	// slackAt pages, and one applied write lowers the minimum by at most
+	// one, so slack-(writes-slackAt) is a valid lower bound at any later
+	// point with no per-write maintenance. MinRemainingAtLeast recomputes
+	// the exact minimum when the bound dips below a query; slackValid marks
+	// that slack has held the exact minimum at least once, which unlocks
+	// the monotone fast path (the minimum never recovers).
+	slack      uint64
+	slackAt    uint64
+	slackValid bool
 }
 
 // NewDevice builds a device with the given geometry and per-page endurance
@@ -173,6 +185,47 @@ func (d *Device) Remaining(pp int) uint64 {
 		return 0
 	}
 	return d.endurance[pp] - d.wear[pp]
+}
+
+// MinRemainingAtLeast reports whether every page can still absorb at least
+// n writes. The common case is a watermark comparison; the exact O(pages)
+// minimum is recomputed only when the watermark has decayed below n, so
+// bulk write paths can hoist their per-write failure pre-checks for almost
+// the entire device lifetime.
+//
+// Wear only grows, so the true minimum is monotone non-increasing. Once a
+// recompute has pinned the exact minimum in slack, any query above it is a
+// permanent exact "no" with no rescan; queries at or below it that outlive
+// the decay bound trigger at most one rescan per pages-worth of writes (a
+// conservative "no" in between), so the end-of-life regime costs amortized
+// O(1) and callers run their per-write failure checks until the run ends.
+func (d *Device) MinRemainingAtLeast(n uint64) bool {
+	since := d.writes - d.slackAt
+	if d.slack >= since && d.slack-since >= n {
+		return true
+	}
+	if d.slackValid {
+		if n > d.slack {
+			return false
+		}
+		if since < uint64(len(d.wear)) {
+			return false
+		}
+	}
+	min := ^uint64(0)
+	for pp, w := range d.wear {
+		var r uint64
+		if w < d.endurance[pp] {
+			r = d.endurance[pp] - w
+		}
+		if r < min {
+			min = r
+		}
+	}
+	d.slack = min
+	d.slackAt = d.writes
+	d.slackValid = true
+	return min >= n
 }
 
 // Write applies one page write to physical page pp, storing tag as the page
@@ -385,4 +438,7 @@ func (d *Device) Reset() {
 	d.reads = 0
 	d.failedPage = -1
 	d.failedCount = 0
+	d.slack = 0
+	d.slackAt = 0
+	d.slackValid = false
 }

@@ -28,6 +28,15 @@ type lifetimeState struct {
 	blocked uint64
 	cycles  int64
 	res     LifetimeResult
+
+	// Fast-path chunking diagnostics, registered by bulkLoop only when the
+	// scheme actually has a bulk writer and a metrics registry is attached.
+	// They describe the simulator's own fast path — the per-write path never
+	// creates them — so the differential bit-identity comparison excludes
+	// the twl_ff_* series (see TestFastForwardDifferential).
+	reg      *obs.Registry
+	ffRunLen *obs.Histogram
+	ffEvents *obs.Counter
 }
 
 // perRequestLoop is the baseline path: one Source.Next, one Write/Read per
@@ -95,6 +104,13 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 		runWriter, _ = l.s.(wl.RunWriter)
 	}
 	hasWriter := runWriter != nil || sweepWriter != nil
+	if hasWriter && l.reg != nil {
+		l.reg.Help("twl_ff_run_length", "demand writes absorbed per fast-path bulk chunk, by scheme")
+		l.reg.Help("twl_ff_events_total", "event writes served per-request inside the fast-forward loop, by scheme")
+		label := obs.L("scheme", l.s.Name())
+		l.ffRunLen = l.reg.Histogram("twl_ff_run_length", obs.ExponentialBuckets(1, 4, 11), label)
+		l.ffEvents = l.reg.Counter("twl_ff_events_total", label)
+	}
 
 	for l.demand < l.limit {
 		addr, write, n := next(l.fb)
@@ -140,6 +156,9 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 			}
 			// Event write, or the scheme has no fast path: serve one
 			// request exactly as the per-request loop would.
+			if l.ffEvents != nil {
+				l.ffEvents.Inc()
+			}
 			a := addr
 			if sweep {
 				a = addr + off
@@ -192,6 +211,9 @@ func (l *lifetimeState) accountBulk(cost wl.Cost, absorbed int) {
 	if l.metrics != nil {
 		l.metrics.writes.Add(uint64(absorbed))
 		l.metrics.latency.ObserveN(float64(c), uint64(absorbed))
+	}
+	if l.ffRunLen != nil {
+		l.ffRunLen.Observe(float64(absorbed))
 	}
 	if l.traceEvery > 0 && l.demand%l.traceEvery == 0 {
 		emitProgress(l.tracer, l.s, l.demand, l.blocked, l.cycles)

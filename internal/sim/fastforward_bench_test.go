@@ -10,7 +10,7 @@ import (
 
 // benchSchemes are the fast-forward (RunWriter/SweepWriter) schemes; the
 // benchmark compares each against its own per-request baseline.
-var benchSchemes = []string{"NOWL", "StartGap", "SR", "SR2", "BWL"}
+var benchSchemes = []string{"NOWL", "StartGap", "SR", "SR2", "BWL", "TWL_swp", "TWL_ap", "TWL_rand", "WRL"}
 
 // benchLifetime times full lifetime runs (to first page failure) at the
 // SmallSystem scale: 512 pages, mean endurance 5000, σ = 11%.

@@ -2,34 +2,43 @@ package sim
 
 import (
 	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"twl/internal/attack"
+	"twl/internal/core"
 	"twl/internal/obs"
 	"twl/internal/trace"
 	"twl/internal/wl"
 	"twl/internal/wl/wltest"
+	"twl/internal/wl/wrl"
 
 	// Populate the default registry with every scheme so the differential
-	// test sweeps all of them.
-	_ "twl/internal/core"
+	// test sweeps all of them (core and wrl register via the named imports).
 	_ "twl/internal/wl/bwl"
 	_ "twl/internal/wl/od3p"
 	_ "twl/internal/wl/rbsg"
 	_ "twl/internal/wl/secref"
 	_ "twl/internal/wl/startgap"
-	_ "twl/internal/wl/wrl"
 )
 
 // runWriters lists the schemes that must implement the fast-forward writer
-// interfaces (the deterministic ones); every other registered scheme must
-// not, and takes the per-request fallback.
+// interfaces; every other registered scheme must not, and takes the
+// per-request fallback. The deterministic schemes compute their event
+// horizon directly; TWL (all pairings) and WRL are event-sparse — RNG and
+// phase transitions only fire at interval boundaries — so they absorb the
+// stretches between events and fall back for the events themselves.
 var runWriters = map[string]bool{
 	"NOWL":     true,
 	"StartGap": true,
 	"BWL":      true,
 	"SR":       true,
 	"SR2":      true,
+	"TWL_swp":  true,
+	"TWL_ap":   true,
+	"TWL_rand": true,
+	"WRL":      true,
 }
 
 const (
@@ -93,6 +102,35 @@ func demandPages(s wl.Scheme) int {
 	return s.Device().Pages()
 }
 
+// metricsJSON renders the registry as JSON with the twl_ff_* series
+// removed: those series describe the simulator's own fast-path chunking and
+// exist only when the bulk loop runs a scheme with a bulk writer, so they
+// are the one part of the registry the bit-identity contract does not cover
+// (the per-write path never creates them). Everything else — request
+// counters, latency histograms, run aggregates — must match exactly.
+func metricsJSON(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var series []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &series); err != nil {
+		t.Fatal(err)
+	}
+	kept := series[:0]
+	for _, s := range series {
+		if name, _ := s["name"].(string); !strings.HasPrefix(name, "twl_ff_") {
+			kept = append(kept, s)
+		}
+	}
+	out, err := json.Marshal(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
 // diffRun executes one lifetime run and captures everything comparable:
 // the result, the full wear and payload maps, device totals, the metrics
 // registry rendering, and the trace event log.
@@ -106,13 +144,28 @@ type diffRun struct {
 	traceText   string
 }
 
-func diffRunOne(t *testing.T, scheme, kind string, disableFF bool) diffRun {
-	t.Helper()
-	dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
-	s, err := wl.Default.New(scheme, dev, diffSeed)
-	if err != nil {
-		t.Fatal(err)
+// schemeFactory builds a fresh scheme over a fresh device; the registry
+// rows and the hand-built TWL/WRL variants share the differential harness
+// through it.
+type schemeFactory func(t *testing.T) wl.Scheme
+
+// registryFactory adapts a registered scheme name to a schemeFactory.
+func registryFactory(name string) schemeFactory {
+	return func(t *testing.T) wl.Scheme {
+		t.Helper()
+		dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
+		s, err := wl.Default.New(name, dev, diffSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
 	}
+}
+
+func diffRunOne(t *testing.T, build schemeFactory, kind string, disableFF bool) diffRun {
+	t.Helper()
+	s := build(t)
+	dev := s.Device()
 	reg := obs.NewRegistry()
 	var traceBuf bytes.Buffer
 	tr := obs.NewTracer(&traceBuf, 1000)
@@ -129,17 +182,13 @@ func diffRunOne(t *testing.T, scheme, kind string, disableFF bool) diffRun {
 	if err := tr.Err(); err != nil {
 		t.Fatal(err)
 	}
-	var metricsBuf bytes.Buffer
-	if err := reg.WriteText(&metricsBuf); err != nil {
-		t.Fatal(err)
-	}
 	out := diffRun{
 		res:         res,
 		wear:        make([]uint64, dev.Pages()),
 		payload:     make([]uint64, dev.Pages()),
 		writes:      dev.TotalWrites(),
 		reads:       dev.TotalReads(),
-		metricsText: metricsBuf.String(),
+		metricsText: metricsJSON(t, reg),
 		traceText:   traceBuf.String(),
 	}
 	for pp := 0; pp < dev.Pages(); pp++ {
@@ -149,9 +198,45 @@ func diffRunOne(t *testing.T, scheme, kind string, disableFF bool) diffRun {
 	return out
 }
 
+// diffCompare runs one configuration through both paths and requires
+// bit-identical observables: the LifetimeResult struct, the per-page wear
+// map, the per-page payload tags, device totals, the rendered metrics
+// registry (minus the fast-path-only twl_ff_* diagnostics), and the emitted
+// trace events.
+func diffCompare(t *testing.T, build schemeFactory, kind string) {
+	t.Helper()
+	slow := diffRunOne(t, build, kind, true)
+	fast := diffRunOne(t, build, kind, false)
+
+	if fast.res != slow.res {
+		t.Errorf("LifetimeResult differs:\nfast: %+v\nslow: %+v", fast.res, slow.res)
+	}
+	if slow.res.Capped && slow.res.DemandWrites == 0 {
+		t.Fatal("slow run served no writes; differential test is vacuous")
+	}
+	for pp := range slow.wear {
+		if fast.wear[pp] != slow.wear[pp] {
+			t.Fatalf("wear[%d]: fast %d, slow %d", pp, fast.wear[pp], slow.wear[pp])
+		}
+		if fast.payload[pp] != slow.payload[pp] {
+			t.Fatalf("payload[%d]: fast %d, slow %d", pp, fast.payload[pp], slow.payload[pp])
+		}
+	}
+	if fast.writes != slow.writes || fast.reads != slow.reads {
+		t.Errorf("device totals differ: fast %d/%d, slow %d/%d",
+			fast.writes, fast.reads, slow.writes, slow.reads)
+	}
+	if fast.metricsText != slow.metricsText {
+		t.Errorf("metrics registry differs:\nfast:\n%s\nslow:\n%s", fast.metricsText, slow.metricsText)
+	}
+	if fast.traceText != slow.traceText {
+		t.Errorf("trace events differ:\nfast:\n%s\nslow:\n%s", fast.traceText, slow.traceText)
+	}
+}
+
 // TestFastForwardImplementers pins which schemes opt into the fast path, so
-// an accidental interface change (or a probabilistic scheme gaining a bogus
-// WriteRun) fails loudly.
+// an accidental interface change (or a per-write-probabilistic scheme
+// gaining a bogus WriteRun) fails loudly.
 func TestFastForwardImplementers(t *testing.T) {
 	for _, name := range wl.Names() {
 		dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
@@ -164,49 +249,159 @@ func TestFastForwardImplementers(t *testing.T) {
 			t.Errorf("%s: RunWriter = %v, want %v", name, isRun, runWriters[name])
 		}
 		if _, isSweep := s.(wl.SweepWriter); isSweep && !runWriters[name] {
-			t.Errorf("%s: implements SweepWriter but is not a deterministic fast-forward scheme", name)
+			t.Errorf("%s: implements SweepWriter but is not a fast-forward scheme", name)
 		}
 	}
 }
 
 // TestFastForwardDifferential runs every registered scheme against the
-// repeat attack, the scan attack, and a bursty trace replay through both the
-// fast-forward and the per-request paths, and requires bit-identical
-// results: the LifetimeResult struct, the per-page wear map, the per-page
-// payload tags, device totals, the rendered metrics registry, and the
-// emitted trace events.
+// repeat attack, the scan attack, and a bursty RLE trace replay through
+// both the fast-forward and the per-request paths, and requires
+// bit-identical observables (see diffCompare). With TWL and WRL now
+// implementing the writers, this covers the event-horizon fast path for all
+// three pairings under the default (Feistel) alpha source.
 func TestFastForwardDifferential(t *testing.T) {
 	for _, name := range wl.Names() {
 		for _, kind := range []string{"repeat", "scan", "trace"} {
 			t.Run(name+"/"+kind, func(t *testing.T) {
-				slow := diffRunOne(t, name, kind, true)
-				fast := diffRunOne(t, name, kind, false)
-
-				if fast.res != slow.res {
-					t.Errorf("LifetimeResult differs:\nfast: %+v\nslow: %+v", fast.res, slow.res)
-				}
-				if slow.res.Capped && slow.res.DemandWrites == 0 {
-					t.Fatal("slow run served no writes; differential test is vacuous")
-				}
-				for pp := range slow.wear {
-					if fast.wear[pp] != slow.wear[pp] {
-						t.Fatalf("wear[%d]: fast %d, slow %d", pp, fast.wear[pp], slow.wear[pp])
-					}
-					if fast.payload[pp] != slow.payload[pp] {
-						t.Fatalf("payload[%d]: fast %d, slow %d", pp, fast.payload[pp], slow.payload[pp])
-					}
-				}
-				if fast.writes != slow.writes || fast.reads != slow.reads {
-					t.Errorf("device totals differ: fast %d/%d, slow %d/%d",
-						fast.writes, fast.reads, slow.writes, slow.reads)
-				}
-				if fast.metricsText != slow.metricsText {
-					t.Errorf("metrics registry differs:\nfast:\n%s\nslow:\n%s", fast.metricsText, slow.metricsText)
-				}
-				if fast.traceText != slow.traceText {
-					t.Errorf("trace events differ:\nfast:\n%s\nslow:\n%s", fast.traceText, slow.traceText)
-				}
+				diffCompare(t, registryFactory(name), kind)
 			})
 		}
+	}
+}
+
+// twlFactory builds a hand-configured TWL engine variant.
+func twlFactory(cfg func(seed uint64) core.Config) schemeFactory {
+	return func(t *testing.T) wl.Scheme {
+		t.Helper()
+		dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
+		e, err := core.New(dev, cfg(diffSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+// TestFastForwardDifferentialTWLVariants extends the matrix across the
+// dimensions the registry rows don't reach: every pairing under the
+// xorshift alpha source (the registry uses Feistel), the toss-up interval
+// at the 7-bit WCT wrap (tables.MaxInterval, where the firing condition is
+// the wrap to zero rather than the >= interval compare), interval 1 (every
+// write is a toss-up — the fast path must absorb nothing), and the
+// inter-pair swap disabled and at its most aggressive setting.
+func TestFastForwardDifferentialTWLVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  func(seed uint64) core.Config
+	}{
+		{"swp_xorshift", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.UseFeistel = false
+			return c
+		}},
+		{"ap_xorshift", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.Pairing = core.Adjacent
+			c.UseFeistel = false
+			return c
+		}},
+		{"rand_xorshift", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.Pairing = core.Random
+			c.UseFeistel = false
+			return c
+		}},
+		{"interval_wrap128", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.TossUpInterval = 128 // == tables.MaxInterval: fires on the WCT wrap to zero
+			return c
+		}},
+		{"interval_1", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.TossUpInterval = 1 // every write tosses: absorbed must stay 0
+			return c
+		}},
+		{"ips_disabled", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.InterPairSwapInterval = 0
+			return c
+		}},
+		{"ips_1_xorshift", func(seed uint64) core.Config {
+			c := core.DefaultConfig(seed)
+			c.InterPairSwapInterval = 1 // every write inter-pair swaps
+			c.UseFeistel = false
+			return c
+		}},
+	}
+	for _, v := range variants {
+		for _, kind := range []string{"repeat", "scan", "trace"} {
+			t.Run(v.name+"/"+kind, func(t *testing.T) {
+				diffCompare(t, twlFactory(v.cfg), kind)
+			})
+		}
+	}
+}
+
+// TestFastForwardDifferentialWRLVariants covers WRL configurations beyond
+// the registered default: a short prediction window (events every few dozen
+// writes, so event handling dominates), a long running phase, and a partial
+// swap cap (the displaced-assignment path in swapPhase).
+func TestFastForwardDifferentialWRLVariants(t *testing.T) {
+	wrlFactory := func(cfg wrl.Config) schemeFactory {
+		return func(t *testing.T) wl.Scheme {
+			t.Helper()
+			dev := wltest.NewDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
+			s, err := wrl.New(dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	variants := []struct {
+		name string
+		cfg  wrl.Config
+	}{
+		{"short_prediction", wrl.Config{PredictionWrites: 37, RunningMultiplier: 3, MaxSwapFraction: 1.0}},
+		{"long_running", wrl.Config{PredictionWrites: 256, RunningMultiplier: 40, MaxSwapFraction: 1.0}},
+		{"partial_swap", wrl.Config{PredictionWrites: 128, RunningMultiplier: 5, MaxSwapFraction: 0.25}},
+	}
+	for _, v := range variants {
+		for _, kind := range []string{"repeat", "scan", "trace"} {
+			t.Run(v.name+"/"+kind, func(t *testing.T) {
+				diffCompare(t, wrlFactory(v.cfg), kind)
+			})
+		}
+	}
+}
+
+// TestFastForwardMetrics pins the fast-path diagnostics themselves: a
+// fast-forward run of a bulk-writer scheme must report its chunking (every
+// absorbed chunk observed in twl_ff_run_length, every event write counted
+// in twl_ff_events_total), and the two views must tile the run exactly —
+// histogram count × observations + events == demand writes.
+func TestFastForwardMetrics(t *testing.T) {
+	s := registryFactory("TWL_swp")(t)
+	reg := obs.NewRegistry()
+	res, err := RunLifetime(s, diffSource(t, "repeat", demandPages(s)), LifetimeConfig{
+		MaxDemandWrites: 3 * s.Device().TotalEndurance(),
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := obs.L("scheme", s.Name())
+	hist := reg.Histogram("twl_ff_run_length", obs.ExponentialBuckets(1, 4, 11), label).Snapshot()
+	events := reg.Counter("twl_ff_events_total", label).Value()
+	if hist.Count == 0 {
+		t.Fatal("no fast-path chunks observed for TWL_swp under repeat")
+	}
+	if events == 0 {
+		t.Fatal("no event writes counted; the toss-up interval guarantees some")
+	}
+	if got := uint64(hist.Sum) + events; got != res.DemandWrites {
+		t.Errorf("chunked %v + events %d = %d, want demand writes %d",
+			hist.Sum, events, got, res.DemandWrites)
 	}
 }

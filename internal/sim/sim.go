@@ -316,6 +316,7 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 		checker:    checker,
 		checkEvery: cfg.CheckEvery,
 		metrics:    metrics,
+		reg:        cfg.Metrics,
 		tracer:     cfg.Trace,
 		traceEvery: traceEvery,
 		limit:      limit,

@@ -86,9 +86,13 @@ func (r *Remap) CheckBijection() error {
 }
 
 // WriteCounts is the write number table (WNT): per-logical-page write counts
-// accumulated during a prediction phase.
+// accumulated during a prediction phase. It tracks which pages have nonzero
+// counts, so consumers that rank pages by heat (WRL's swap phase) pay for
+// the pages actually written, not the whole table — under a repeat attack
+// that is one page, not all of them.
 type WriteCounts struct {
-	counts []uint64
+	counts  []uint64
+	touched []int // pages with nonzero counts, in first-touch order
 }
 
 // NewWriteCounts returns a zeroed WNT over n pages.
@@ -97,16 +101,40 @@ func NewWriteCounts(n int) *WriteCounts {
 }
 
 // Record counts one write to logical page la.
-func (w *WriteCounts) Record(la int) { w.counts[la]++ }
+func (w *WriteCounts) Record(la int) {
+	if w.counts[la] == 0 {
+		w.touched = append(w.touched, la)
+	}
+	w.counts[la]++
+}
+
+// Add counts n writes to logical page la in one step — the bulk equivalent
+// of n Record calls, used by the fast-forward write paths.
+func (w *WriteCounts) Add(la int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if w.counts[la] == 0 {
+		w.touched = append(w.touched, la)
+	}
+	w.counts[la] += n
+}
 
 // Count returns the accumulated count for la.
 func (w *WriteCounts) Count(la int) uint64 { return w.counts[la] }
 
-// Reset zeroes all counters (start of a new prediction phase).
+// Touched returns the pages with nonzero counts, in first-touch order. The
+// slice aliases internal state — Reset invalidates it — but callers may
+// reorder it in place.
+func (w *WriteCounts) Touched() []int { return w.touched }
+
+// Reset zeroes all counters (start of a new prediction phase). Cost is
+// proportional to the pages touched since the last reset.
 func (w *WriteCounts) Reset() {
-	for i := range w.counts {
-		w.counts[i] = 0
+	for _, la := range w.touched {
+		w.counts[la] = 0
 	}
+	w.touched = w.touched[:0]
 }
 
 // Snapshot returns a copy of the counters.
@@ -217,11 +245,24 @@ func (c *Counter) Inc(i int) uint8 {
 	return c.counts[i]
 }
 
+// Add increments entry i by n modulo 2^WCTBits and returns the new value —
+// the bulk equivalent of n Inc calls, used by the fast-forward write paths
+// to advance a counter across an event-free stretch in O(1).
+func (c *Counter) Add(i, n int) uint8 {
+	c.counts[i] = uint8(int(c.counts[i])+n) & (1<<WCTBits - 1)
+	return c.counts[i]
+}
+
 // Len returns the number of entries.
 func (c *Counter) Len() int { return len(c.counts) }
 
 // Get returns entry i.
 func (c *Counter) Get(i int) uint8 { return c.counts[i] }
+
+// Raw returns the counter array itself, for bulk walkers that fuse the
+// read-test-increment sequence into direct slice accesses (the TWL sweep
+// fast path). Callers must keep every entry below 2^WCTBits.
+func (c *Counter) Raw() []uint8 { return c.counts }
 
 // Clear zeroes entry i.
 func (c *Counter) Clear(i int) { c.counts[i] = 0 }

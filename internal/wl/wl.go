@@ -91,9 +91,10 @@ type Checker interface {
 }
 
 // RunWriter is the optional fast-forward interface for same-address write
-// runs. Deterministic schemes implement it by computing the distance to
-// their next internal event (gap move, refresh step, epoch rotation, …) in
-// O(1) and bulk-applying the event-free prefix of the run.
+// runs. Schemes implement it by computing the distance to their next
+// internal event (gap move, refresh step, epoch rotation, toss-up, phase
+// transition, …) in O(1) and bulk-applying the event-free prefix of the
+// run.
 //
 // Contract (see DESIGN.md "Run-length fast-forward"):
 //
@@ -110,9 +111,15 @@ type Checker interface {
 //   - Mid-run failure: if one of the absorbed writes wears a page to its
 //     endurance, the run stops at (and including) that write — absorbed
 //     counts it, nothing after it is applied (pcm.Device.WriteN clamps).
-//
-// Probabilistic schemes (TWL, WRL) must not implement RunWriter: their
-// per-write RNG draws make every write a potential event.
+//   - RNG alignment: absorbed writes must consume zero RNG draws. A
+//     probabilistic scheme may implement RunWriter only when its randomness
+//     is event-sparse — every draw happens at an interval-triggered event
+//     (TWL's toss-up and inter-pair swap, and likewise PS-WL/WoLFRaM-style
+//     randomized remapping) — so that the RNG stream stays bit-aligned with
+//     the per-write path: the fast path stops strictly before each
+//     RNG-bearing event and the caller fires it through a normal Write. A
+//     scheme that draws randomness on every write has no event-free prefix
+//     and must not implement RunWriter.
 type RunWriter interface {
 	WriteRun(la int, tag uint64, n int) (Cost, int)
 }

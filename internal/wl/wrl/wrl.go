@@ -75,7 +75,14 @@ type Scheme struct {
 	phase      phase
 	phaseLeft  int   // demand writes remaining in the current phase
 	byStrength []int // physical pages sorted by descending endurance
+
+	scratch []int // physical-address batch for WriteSweep
 }
+
+var _ wl.Scheme = (*Scheme)(nil)
+var _ wl.Checker = (*Scheme)(nil)
+var _ wl.RunWriter = (*Scheme)(nil)
+var _ wl.SweepWriter = (*Scheme)(nil)
 
 // New builds a WRL scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
@@ -135,18 +142,105 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 	return cost
 }
 
+// horizon returns how many of the next n writes are guaranteed event-free:
+// the only WRL event is the phase transition, fired by the write that takes
+// phaseLeft to zero, so phaseLeft − 1 writes can pass without one. The
+// remap table is frozen between swap phases, which is what lets the fast
+// paths resolve addresses once per batch.
+func (s *Scheme) horizon(n int) int {
+	if k := s.phaseLeft - 1; k < n {
+		return k
+	}
+	return n
+}
+
+// eventFreeCost is the uniform per-write cost inside the current phase:
+// prediction-phase writes additionally update the WNT.
+func (s *Scheme) eventFreeCost() wl.Cost {
+	cost := wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + wl.TableCycles}
+	if s.phase == predicting {
+		cost.ExtraCycles += wl.TableCycles // WNT update
+	}
+	return cost
+}
+
+// WriteRun implements wl.RunWriter via an event-horizon fast-forward: a
+// same-address run maps to one physical page until the next phase
+// transition, so the event-free prefix collapses into one bulk device write
+// plus O(1) counter advances. absorbed == 0 means the next write fires the
+// transition (possibly a blocking swap phase); the caller serves it through
+// Write, which runs the transition exactly as the per-write path would.
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	k := s.horizon(n)
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	// WriteN clamps at a mid-run wear-out, counting the failing write.
+	applied := s.dev.WriteN(s.rt.Phys(la), tag, k)
+	s.stats.DemandWrites += uint64(applied)
+	s.phaseLeft -= applied
+	if s.phase == predicting {
+		s.wnt.Add(la, uint64(applied))
+	}
+	return s.eventFreeCost(), applied
+}
+
+// WriteSweep implements wl.SweepWriter: the event-free prefix of a
+// consecutive-address sweep resolves through the frozen remap table into a
+// physical-address batch served by one gather-write. WriteSeq clamps the
+// batch at the first write that wears a page out; only the applied prefix
+// is accounted (within one sweep the RT bijection keeps physical addresses
+// distinct, so the clamp point is exact).
+func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	k := s.horizon(n)
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if cap(s.scratch) < k {
+		s.scratch = make([]int, k)
+	}
+	buf := s.scratch[:k]
+	phys := s.rt.PhysTable()
+	for i := range buf {
+		buf[i] = phys[la+i]
+	}
+	applied := s.dev.WriteSeq(buf, tag)
+	s.stats.DemandWrites += uint64(applied)
+	s.phaseLeft -= applied
+	if s.phase == predicting {
+		for i := 0; i < applied; i++ {
+			s.wnt.Record(la + i)
+		}
+	}
+	return s.eventFreeCost(), applied
+}
+
 // swapPhase realizes the predicted-hot → strong mapping: logical pages are
 // ranked by WNT count and assigned to physical pages in endurance order,
 // then the data is permuted into place cycle by cycle.
 func (s *Scheme) swapPhase() wl.Cost {
 	n := s.dev.Pages()
-	byHeat := make([]int, n)
-	for i := range byHeat {
-		byHeat[i] = i
-	}
-	sort.SliceStable(byHeat, func(a, b int) bool {
-		return s.wnt.Count(byHeat[a]) > s.wnt.Count(byHeat[b])
+	// Rank by heat: stable descending order over all pages is (count desc,
+	// la asc) — zero-count pages all tie, keeping ascending address order
+	// behind the written ones. Sorting only the touched set by that total
+	// order and appending the untouched pages in address order reproduces
+	// the full ranking at O(k log k + n) for k written pages — under a
+	// repeat attack the prediction phase touches one page, not all of them.
+	hot := s.wnt.Touched()
+	sort.Slice(hot, func(a, b int) bool {
+		ca, cb := s.wnt.Count(hot[a]), s.wnt.Count(hot[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return hot[a] < hot[b]
 	})
+	byHeat := make([]int, 0, n)
+	byHeat = append(byHeat, hot...)
+	for la := 0; la < n; la++ {
+		if s.wnt.Count(la) == 0 {
+			byHeat = append(byHeat, la)
+		}
+	}
 
 	limit := int(s.cfg.MaxSwapFraction * float64(n))
 	target := make([]int, n) // la → desired pa
@@ -257,6 +351,16 @@ func (s *Scheme) Device() *pcm.Device { return s.dev }
 func (s *Scheme) CheckInvariants() error {
 	if err := s.rt.CheckBijection(); err != nil {
 		return err
+	}
+	// The transition write resets phaseLeft inside Write, so between requests
+	// it sits strictly inside (0, phase length] — reaching 0 means a phase
+	// transition was skipped (the event the fast path must never absorb).
+	max := s.cfg.PredictionWrites
+	if s.phase == running {
+		max = s.cfg.RunningMultiplier * s.cfg.PredictionWrites
+	}
+	if s.phaseLeft < 1 || s.phaseLeft > max {
+		return fmt.Errorf("wrl: phaseLeft %d outside (0,%d] in phase %d", s.phaseLeft, max, s.phase)
 	}
 	want := s.stats.DemandWrites + s.stats.SwapWrites
 	if got := s.dev.TotalWrites(); got != want {
