@@ -50,3 +50,4 @@ fuzzsmoke:
 	go test ./internal/rng -run '^$$' -fuzz FuzzFeistelBijection -fuzztime 10s
 	go test ./internal/tables -run '^$$' -fuzz FuzzRemapBijection -fuzztime 10s
 	go test ./internal/core -run '^$$' -fuzz FuzzEventHorizon -fuzztime 10s
+	go test ./internal/sim -run '^$$' -fuzz FuzzCheckpointResume -fuzztime 10s

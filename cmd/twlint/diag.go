@@ -122,6 +122,7 @@ var analyzers = []*analyzer{
 	registryAnalyzer,
 	costAnalyzer,
 	locksAnalyzer,
+	snapshotAnalyzer,
 }
 
 // world is the cross-package context shared by all analyzers over one run:

@@ -15,6 +15,10 @@
 //   - locks: structs carrying sync or sync/atomic state must not be copied
 //     by value, and a field accessed through sync/atomic must not also be
 //     accessed as a plain variable.
+//   - snapshot: every field of a type declaring a Snapshot(io.Writer) error
+//     method must be written by Snapshot (checkpointed) or carry a snap:
+//     comment explaining its exemption — unpersisted mutable state breaks
+//     the bit-identical-resume guarantee.
 //
 // Built entirely on the stdlib go/ast, go/parser, go/token and go/types
 // packages (module policy: no external dependencies). Usage:

@@ -1,0 +1,92 @@
+// Package fixsnap exercises the snapshot analyzer: persisted types (those
+// declaring a Snapshot(io.Writer) error method) whose fields are variously
+// written by Snapshot, exempted with snap: comments, reached through helper
+// methods — or silently dropped (the findings).
+package fixsnap
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Ring is a persisted type with full coverage: every field is either
+// written by Snapshot or carries a snap: exemption. Clean.
+type Ring struct {
+	buf  []uint64
+	head int
+	size int // snap: derived from len(buf) at construction
+}
+
+// Snapshot writes the ring's mutable state.
+func (r *Ring) Snapshot(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, r.buf); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, int64(r.head))
+}
+
+// Leaky drops a field: wear is persisted, hot is not and has no snap:
+// comment. Finding on hot.
+type Leaky struct {
+	wear []uint64
+	hot  int
+}
+
+// Snapshot forgets the hot field.
+func (l *Leaky) Snapshot(w io.Writer) error {
+	return binary.Write(w, binary.LittleEndian, l.wear)
+}
+
+// Split covers its fields through a helper method on the same type: the
+// analyzer follows the call. Clean.
+type Split struct {
+	a uint64
+	b uint64
+}
+
+// Snapshot delegates the actual encoding.
+func (s *Split) Snapshot(w io.Writer) error { return s.encode(w) }
+
+func (s *Split) encode(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, s.a); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, s.b)
+}
+
+// NotPersisted has no Snapshot method at all: out of scope, no findings
+// even though nothing covers its field.
+type NotPersisted struct {
+	scratch []byte
+}
+
+// Sink has a Snapshot method with the wrong shape (no error result), so it
+// is not a persisted type. No findings.
+type Sink struct {
+	n int
+}
+
+// Snapshot here is an unrelated method that happens to share the name.
+func (s *Sink) Snapshot(w io.Writer) int {
+	_, _ = w.Write([]byte{byte(s.n)})
+	return s.n
+}
+
+// Doc-comment exemptions count too; stale is dropped without one. Finding
+// on stale only.
+type Mixed struct {
+	// snap: rebuilt from cur on Restore
+	cache map[int]int
+	cur   []int
+	stale bool
+}
+
+// Snapshot persists only cur.
+func (m *Mixed) Snapshot(w io.Writer) error {
+	for _, v := range m.cur {
+		if err := binary.Write(w, binary.LittleEndian, int64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ var fixtures = []struct {
 	{registryAnalyzer, "fixreg", "twl/internal/wl/fixreg"},
 	{costAnalyzer, "fixcost", "twl/internal/fixcost"},
 	{locksAnalyzer, "fixlocks", "twl/internal/fixlocks"},
+	{snapshotAnalyzer, "fixsnap", "twl/internal/fixsnap"},
 }
 
 // loadFixture type-checks one fixture package and builds the analysis world

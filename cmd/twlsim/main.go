@@ -9,6 +9,8 @@
 //	twlsim -scheme TWL_swp -attack scan -metrics     # append a metrics report
 //	twlsim -scheme SR -attack repeat -trace run.jsonl -trace-every 50000
 //	twlsim -bench vips -pprof prof                   # prof.cpu.pprof + prof.heap.pprof
+//	twlsim -scheme SR -attack repeat -checkpoint run.ckpt         # crash-safe run
+//	twlsim -scheme SR -attack repeat -checkpoint run.ckpt -resume # pick it back up
 //	twlsim -config                      # print the simulated configuration
 package main
 
@@ -43,12 +45,18 @@ func main() {
 		traceFile  = flag.String("trace", "", "write structured JSONL progress events to this file")
 		traceEvery = flag.Uint64("trace-every", 0, "emit a trace progress event every N demand writes (0: default)")
 		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		ckptFile   = flag.String("checkpoint", "", "periodically checkpoint the run to this file (crash-safe, atomically replaced)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "checkpoint every N demand writes (0: default cadence)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 	)
 	flag.Parse()
 
 	if *config {
 		printConfig()
 		return
+	}
+	if *resume && *ckptFile == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
 
 	if *pprofPfx != "" {
@@ -106,12 +114,25 @@ func main() {
 		cfg.Metrics = twl.NewMetrics()
 	}
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		// A resumed run continues the interrupted run's event stream, so the
+		// trace file is appended to rather than truncated.
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *resume {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(*traceFile, mode, 0o644)
 		fatal(err)
 		defer func() { fatal(f.Close()) }()
 		tr := twl.NewRunTracer(f, *traceEvery)
 		cfg.Trace = tr
 		defer func() { fatal(tr.Err()) }()
+	}
+	if *ckptFile != "" {
+		cfg.Checkpoint = &sim.CheckpointConfig{
+			Path:   *ckptFile,
+			Every:  *ckptEvery,
+			Resume: *resume,
+		}
 	}
 	res, err := sim.RunLifetime(s, src, cfg)
 	fatal(err)

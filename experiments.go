@@ -186,8 +186,9 @@ func RunFig6(sys SystemConfig, cfg Fig6Config) (*Fig6Result, error) {
 			}})
 		}
 	}
-	if err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
-		return nil, err
+	if completed, err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
+		return nil, fmt.Errorf("twl: fig6 grid aborted with %d/%d cells done: %w",
+			countCompleted(completed), len(tasks), err)
 	}
 	for i, name := range cfg.Schemes {
 		out.Cells[name] = map[string]Fig6Cell{}
@@ -405,8 +406,9 @@ func RunFig8(sys SystemConfig, cfg Fig8Config) (*Fig8Result, error) {
 			}})
 		}
 	}
-	if err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
-		return nil, err
+	if completed, err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
+		return nil, fmt.Errorf("twl: fig8 grid aborted with %d/%d cells done: %w",
+			countCompleted(completed), len(tasks), err)
 	}
 	out := &Fig8Result{Mean: map[string]float64{}}
 	sums := map[string]float64{}

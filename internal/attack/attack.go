@@ -170,7 +170,7 @@ func (s *repeatStream) Next(fb Feedback) int { return s.addr }
 func (s *repeatStream) NextRun(Feedback) (int, int) { return s.addr, repeatRunLength }
 
 type randomStream struct {
-	n   int
+	n   int // snap: construction input
 	src *rng.Xorshift
 }
 
@@ -178,7 +178,7 @@ func (s *randomStream) Name() string         { return "random" }
 func (s *randomStream) Next(fb Feedback) int { return s.src.Intn(s.n) }
 
 type scanStream struct {
-	n   int
+	n   int // snap: construction input
 	pos int
 }
 
@@ -217,10 +217,10 @@ func (s *scanStream) NextSweep(Feedback) (int, int) {
 // the Figure 3 example. After a reversal the halves exchange roles and the
 // previously-frozen addresses take the heaviest bursts.
 type inconsistentStream struct {
-	n              int
-	weights        []int
-	passLen        int
-	quietThreshold int
+	n              int   // snap: construction input
+	weights        []int // snap: derived by buildWeights
+	passLen        int   // snap: derived by buildWeights
+	quietThreshold int   // snap: construction input
 
 	idx       int // current target address
 	remaining int // writes left in the current burst
@@ -229,8 +229,8 @@ type inconsistentStream struct {
 	sawBlock   bool
 	quiet      int
 	sinceFlip  int
-	minFlipAt  int
-	fallbackAt int
+	minFlipAt  int // snap: derived by buildWeights
+	fallbackAt int // snap: derived by buildWeights
 
 	// Reversals counts distribution flips (exported via accessor for tests
 	// and experiment logs).

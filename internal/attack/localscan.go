@@ -13,9 +13,9 @@ import (
 // insensitive to the window size, which makes this a useful robustness
 // probe.
 type LocalScan struct {
-	pages  int
-	window int
-	dwell  int // writes before the window relocates
+	pages  int // snap: construction input
+	window int // snap: construction input
+	dwell  int // snap: construction input; writes before the window relocates
 
 	pos     int
 	written int

@@ -1,0 +1,94 @@
+package attack
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Checkpoint persistence for the attack streams. Every stream persists its
+// position in the address sequence (and, for the random mode, the RNG
+// stream position) so a resumed lifetime run issues exactly the writes the
+// uninterrupted run would have.
+
+// Snapshot serializes the fixed target address.
+func (s *repeatStream) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Int(s.addr)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot.
+func (s *repeatStream) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	s.addr = sr.Int()
+	return sr.Err()
+}
+
+// Snapshot serializes the RNG stream position.
+func (s *randomStream) Snapshot(w io.Writer) error {
+	return s.src.Snapshot(w)
+}
+
+// Restore loads state written by Snapshot.
+func (s *randomStream) Restore(r io.Reader) error {
+	return s.src.Restore(r)
+}
+
+// Snapshot serializes the scan position.
+func (s *scanStream) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Int(s.pos)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot.
+func (s *scanStream) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	s.pos = sr.Int()
+	return sr.Err()
+}
+
+// Snapshot serializes the burst position and the swap-phase detector state.
+func (s *inconsistentStream) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Int(s.idx)
+	sw.Int(s.remaining)
+	sw.Bool(s.reversed)
+	sw.Bool(s.sawBlock)
+	sw.Int(s.quiet)
+	sw.Int(s.sinceFlip)
+	sw.Int(s.reversals)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot.
+func (s *inconsistentStream) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	s.idx = sr.Int()
+	s.remaining = sr.Int()
+	s.reversed = sr.Bool()
+	s.sawBlock = sr.Bool()
+	s.quiet = sr.Int()
+	s.sinceFlip = sr.Int()
+	s.reversals = sr.Int()
+	return sr.Err()
+}
+
+// Snapshot serializes the window position.
+func (s *LocalScan) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Int(s.pos)
+	sw.Int(s.written)
+	sw.Int(s.base)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot.
+func (s *LocalScan) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	s.pos = sr.Int()
+	s.written = sr.Int()
+	s.base = sr.Int()
+	return sr.Err()
+}

@@ -34,8 +34,8 @@ func hashPair(key uint64) (uint64, uint64) {
 // Filter is a classic Bloom filter over uint64 keys.
 type Filter struct {
 	bits   []uint64
-	nbits  uint64
-	hashes int
+	nbits  uint64 // snap: derived from nbits at NewFilter
+	hashes int    // snap: construction input
 	items  int
 }
 
@@ -116,10 +116,10 @@ func (f *Filter) FalsePositiveRate() float64 {
 // slots, the count-min sketch estimate).
 type Counting struct {
 	slots  []uint16
-	nslots uint64
-	hashes int
+	nslots uint64 // snap: construction input
+	hashes int    // snap: construction input
 	adds   uint64
-	maxVal uint16
+	maxVal uint16 // snap: constant set at NewCounting
 }
 
 // NewCounting builds a counting filter with nslots counters and k hashes.

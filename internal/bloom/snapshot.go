@@ -1,0 +1,43 @@
+package bloom
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Checkpoint persistence. The filters persist their slot/bit contents and
+// insertion counts; sizing parameters are construction inputs and Restore
+// validates the stream against them via the fixed-length slice readers.
+
+// Snapshot serializes the bit array and item count.
+func (f *Filter) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U64s(f.bits)
+	sw.Int(f.items)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot into an identically-sized filter.
+func (f *Filter) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	sr.U64sInto(f.bits)
+	f.items = sr.Int()
+	return sr.Err()
+}
+
+// Snapshot serializes the counter slots and add count.
+func (c *Counting) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U16s(c.slots)
+	sw.U64(c.adds)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot into an identically-sized filter.
+func (c *Counting) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	sr.U16sInto(c.slots)
+	c.adds = sr.U64()
+	return sr.Err()
+}

@@ -30,9 +30,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"twl/internal/pcm"
 	"twl/internal/rng"
+	"twl/internal/snap"
 	"twl/internal/tables"
 	"twl/internal/wl"
 )
@@ -115,22 +117,22 @@ func (x xorshiftAlpha) Alpha() float64 { return x.Float64() }
 
 // Engine is the TWL wear-leveling engine (Figure 5).
 type Engine struct {
-	dev *pcm.Device
-	cfg Config
+	dev *pcm.Device // snap: device state is checkpointed by the sim layer
+	cfg Config      // snap: construction input
 
 	rt   *tables.Remap     // RT: LA → PA
-	swpt *tables.PairTable // SWPT over *physical* pages (pairs are an
+	swpt *tables.PairTable // snap: static pairing derived from ET at New. SWPT over *physical* pages (pairs are an
 	// endurance property, so they are static; the logical partner of an LA
 	// is derived through RT, which is what the hardware SWPT caches)
-	et       []uint64        // ET as the engine sees it (true or noisy)
+	et       []uint64        // snap: derived from endurance map + seed at New. ET as the engine sees it (true or noisy)
 	wct      *tables.Counter // per-pair toss-up countdown (7-bit)
-	pairIdx  []int           // physical page → pair representative (min member)
-	repLA    []int           // logical page → pair representative (pairIdx[rt.Phys(la)])
+	pairIdx  []int           // snap: derived from SWPT at New. physical page → pair representative (min member)
+	repLA    []int           // snap: rebuilt from RT and pairIdx on Restore. logical page → pair representative (pairIdx[rt.Phys(la)])
 	ipsCount []uint32        // per-LA writes since last inter-pair swap
 	src      alphaSource
 	stats    wl.Stats
 
-	scratch []int // physical-address batch for WriteSweep
+	scratch []int // snap: scratch buffer; physical-address batch for WriteSweep
 }
 
 var _ wl.Scheme = (*Engine)(nil)
@@ -555,6 +557,62 @@ func (e *Engine) CheckInvariants() error {
 	if got := e.dev.TotalWrites(); got != want {
 		return fmt.Errorf("core: device writes %d != demand %d + swap %d",
 			got, e.stats.DemandWrites, e.stats.SwapWrites)
+	}
+	return nil
+}
+
+// Snapshot implements wl.Snapshotter: the RT, the WCT, the inter-pair swap
+// counters, the α-RNG stream position and the stats. The RNG is persisted
+// through its own Snapshotter implementation (Feistel or xorshift depending
+// on Config.UseFeistel); SWPT/ET/pairIdx are endurance-derived statics and
+// repLA is rebuilt from the restored RT.
+func (e *Engine) Snapshot(w io.Writer) error {
+	if err := e.rt.Snapshot(w); err != nil {
+		return err
+	}
+	if err := e.wct.Snapshot(w); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	sw.U32s(e.ipsCount)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	src, ok := e.src.(wl.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: alpha source %T does not support checkpointing", e.src)
+	}
+	if err := src.Snapshot(w); err != nil {
+		return err
+	}
+	return e.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter.
+func (e *Engine) Restore(r io.Reader) error {
+	if err := e.rt.Restore(r); err != nil {
+		return err
+	}
+	if err := e.wct.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	sr.U32sInto(e.ipsCount)
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	src, ok := e.src.(wl.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: alpha source %T does not support checkpointing", e.src)
+	}
+	if err := src.Restore(r); err != nil {
+		return err
+	}
+	if err := e.stats.Restore(r); err != nil {
+		return err
+	}
+	for la := range e.repLA {
+		e.repLA[la] = e.pairIdx[e.rt.Phys(la)]
 	}
 	return nil
 }

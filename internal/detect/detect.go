@@ -64,7 +64,7 @@ func DefaultConfig(pages int) Config {
 
 // Detector is the online write-stream monitor.
 type Detector struct {
-	cfg Config
+	cfg Config // snap: construction input
 
 	cur      map[int]int // per-address counts, current window
 	inWindow int

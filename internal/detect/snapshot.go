@@ -1,0 +1,111 @@
+package detect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"twl/internal/snap"
+)
+
+// Snapshot serializes the detector's full mutable state: both window count
+// tables, the window position, the flag ring and the last-window statistics.
+// Maps are written in sorted-key order so the encoding is deterministic.
+func (d *Detector) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	writeCountMap(sw, d.cur)
+	sw.Int(d.inWindow)
+	sw.Bool(d.prev != nil)
+	if d.prev != nil {
+		writeCountMap(sw, d.prev)
+	}
+	for _, f := range d.flags {
+		sw.Bool(f)
+	}
+	sw.Int(d.flagIdx)
+	sw.Int(d.windows)
+	sw.F64(d.lastConc)
+	sw.F64(d.lastCorr)
+	sw.Int(d.lastHottest)
+	sw.Bool(d.haveHottest)
+	sw.Int(d.alarmEvents)
+	return sw.Err()
+}
+
+// Restore overwrites the detector's mutable state from a Snapshot taken on
+// a detector with the same configuration (the flag-ring length is derived
+// from AlarmWindows).
+func (d *Detector) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	cur, err := readCountMap(sr)
+	if err != nil {
+		return err
+	}
+	inWindow := sr.Int()
+	var prev map[int]int
+	if sr.Bool() {
+		if prev, err = readCountMap(sr); err != nil {
+			return err
+		}
+	}
+	flags := make([]bool, len(d.flags))
+	for i := range flags {
+		flags[i] = sr.Bool()
+	}
+	flagIdx := sr.Int()
+	windows := sr.Int()
+	lastConc := sr.F64()
+	lastCorr := sr.F64()
+	lastHottest := sr.Int()
+	haveHottest := sr.Bool()
+	alarmEvents := sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if flagIdx < 0 || flagIdx >= len(flags) {
+		return fmt.Errorf("detect: checkpoint flag index %d outside ring of %d", flagIdx, len(flags))
+	}
+	d.cur = cur
+	d.inWindow = inWindow
+	d.prev = prev
+	d.flags = flags
+	d.flagIdx = flagIdx
+	d.windows = windows
+	d.lastConc = lastConc
+	d.lastCorr = lastCorr
+	d.lastHottest = lastHottest
+	d.haveHottest = haveHottest
+	d.alarmEvents = alarmEvents
+	return nil
+}
+
+// writeCountMap appends a per-address count table in sorted-key order.
+func writeCountMap(sw *snap.Writer, m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for la := range m {
+		keys = append(keys, la)
+	}
+	sort.Ints(keys)
+	sw.Int(len(keys))
+	for _, la := range keys {
+		sw.Int(la)
+		sw.Int(m[la])
+	}
+}
+
+// readCountMap decodes a table written by writeCountMap.
+func readCountMap(sr *snap.Reader) (map[int]int, error) {
+	n := sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("detect: negative checkpoint map size %d", n)
+	}
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		la := sr.Int()
+		m[la] = sr.Int()
+	}
+	return m, sr.Err()
+}

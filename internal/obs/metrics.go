@@ -139,6 +139,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// AddSnapshot merges a previously captured snapshot into the histogram: each
+// bucket count, the total count, and the sum are added. Restoring a
+// checkpoint into a freshly created (all-zero) histogram therefore
+// reproduces the captured state exactly — for the integer-valued
+// observations the simulator records, adding the snapshot's sum to 0.0 is
+// bit-exact. The snapshot's bounds must equal the histogram's.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) error {
+	if len(s.Bounds) != len(h.bounds) || len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("obs: histogram snapshot has %d bounds, histogram has %d", len(s.Bounds), len(h.bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("obs: histogram snapshot bound %d is %g, histogram has %g", i, b, h.bounds[i])
+		}
+	}
+	for i, c := range s.Counts {
+		h.counts[i].Add(c)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	return nil
+}
+
 // LinearBuckets returns n bounds start, start+width, …
 func LinearBuckets(start, width float64, n int) []float64 {
 	b := make([]float64, n)

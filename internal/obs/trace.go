@@ -52,6 +52,24 @@ func NewTracer(w io.Writer, every uint64) *Tracer {
 // Every returns the progress-event cadence the tracer was built with.
 func (t *Tracer) Every() uint64 { return t.every }
 
+// Seq returns the sequence number of the most recently emitted event (0 if
+// none). Checkpointing persists it so a resumed run's trace continues the
+// numbering of the interrupted one.
+func (t *Tracer) Seq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// SetSeq overwrites the event sequence counter. Used when resuming from a
+// checkpoint: the next Emit produces seq+1, so a resumed trace appended to
+// the truncated original forms one gapless stream.
+func (t *Tracer) SetSeq(seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq = seq
+}
+
 // Err returns the first write or encoding error, if any.
 func (t *Tracer) Err() error {
 	t.mu.Lock()

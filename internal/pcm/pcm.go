@@ -100,13 +100,13 @@ func DefaultTiming() Timing {
 
 // Device is a PCM array with per-page wear tracking.
 type Device struct {
-	geom      Geometry
-	timing    Timing
-	endurance []uint64
+	geom      Geometry // snap: construction input
+	timing    Timing   // snap: construction input
+	endurance []uint64 // snap: construction input
 	// invEndurance caches 1/endurance per page so wear-fraction snapshots
 	// (Summary, WearHistogram) multiply instead of dividing in their per-page
 	// loops.
-	invEndurance []float64
+	invEndurance []float64 // snap: derived from endurance at NewDevice
 	wear         []uint64
 	payload      []uint64
 

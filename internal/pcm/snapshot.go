@@ -1,0 +1,46 @@
+package pcm
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Snapshot serializes the device's mutable state: wear counters, payload
+// tags, traffic totals, failure state and the min-remaining watermark.
+// Geometry, timing and the endurance map are construction inputs and are
+// not persisted — Restore requires a device built with the same ones.
+//
+// The watermark (slack/slackAt/slackValid) must be persisted even though it
+// is only a cache: MinRemainingAtLeast's conservative-"no" path depends on
+// when the last rescan happened, so dropping it would let a resumed run
+// answer a horizon query differently from the uninterrupted run.
+func (d *Device) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U64s(d.wear)
+	sw.U64s(d.payload)
+	sw.U64(d.writes)
+	sw.U64(d.reads)
+	sw.Int(d.failedPage)
+	sw.Int(d.failedCount)
+	sw.U64(d.slack)
+	sw.U64(d.slackAt)
+	sw.Bool(d.slackValid)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot into a device with identical
+// geometry (the wear/payload lengths are validated against it).
+func (d *Device) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	sr.U64sInto(d.wear)
+	sr.U64sInto(d.payload)
+	d.writes = sr.U64()
+	d.reads = sr.U64()
+	d.failedPage = sr.Int()
+	d.failedCount = sr.Int()
+	d.slack = sr.U64()
+	d.slackAt = sr.U64()
+	d.slackValid = sr.Bool()
+	return sr.Err()
+}

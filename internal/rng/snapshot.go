@@ -1,0 +1,49 @@
+package rng
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// The RNG sources persist their exact stream position so a checkpointed
+// lifetime run resumes with the same draw sequence it would have produced
+// uninterrupted. Both types implement the wl.Snapshotter shape.
+
+// Snapshot serializes the generator state.
+func (x *Xorshift) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U64(x.state)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot.
+func (x *Xorshift) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	x.state = sr.U64()
+	return sr.Err()
+}
+
+// Snapshot serializes the round keys and stream position.
+func (f *Feistel) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	for _, k := range f.keys {
+		sw.U8(k)
+	}
+	sw.U16(f.counter)
+	sw.U64(f.buf)
+	sw.U64(uint64(f.bufLen))
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot.
+func (f *Feistel) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	for i := range f.keys {
+		f.keys[i] = sr.U8()
+	}
+	f.counter = sr.U16()
+	f.buf = sr.U64()
+	f.bufLen = uint(sr.U64())
+	return sr.Err()
+}

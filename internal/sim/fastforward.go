@@ -29,6 +29,16 @@ type lifetimeState struct {
 	cycles  int64
 	res     LifetimeResult
 
+	// Pending bulk-run state. bulkLoop's source has already committed to a
+	// whole run when next() returns, so the unserved remainder is loop
+	// state, not source state — it lives here (rather than in locals) so a
+	// mid-run checkpoint can persist it and a resume can finish the run
+	// without consulting the source again.
+	runActive bool // a write run is partially served
+	runAddr   int  // first address of the run
+	runN      int  // requests of the run not yet served
+	runOff    int  // requests of the run already served (sweep offset)
+
 	// Fast-path chunking diagnostics, registered by bulkLoop only when the
 	// scheme actually has a bulk writer and a metrics registry is attached.
 	// They describe the simulator's own fast path — the per-write path never
@@ -37,13 +47,22 @@ type lifetimeState struct {
 	reg      *obs.Registry
 	ffRunLen *obs.Histogram
 	ffEvents *obs.Counter
+
+	// Checkpointing (see checkpoint.go). src is retained so writeCheckpoint
+	// can serialize the source's stream position.
+	src       Source
+	ckptPath  string
+	ckptEvery uint64
+	ckptTotal *obs.Counter
+	ckptBytes *obs.Gauge
+	ckptSecs  *obs.Histogram
 }
 
 // perRequestLoop is the baseline path: one Source.Next, one Write/Read per
 // iteration. The nil-metrics/nil-trace/nil-checker case runs a bare loop
 // with those branches hoisted out entirely.
 func (l *lifetimeState) perRequestLoop(src Source) error {
-	if l.metrics == nil && l.traceEvery == 0 && l.checkEvery == 0 {
+	if l.metrics == nil && l.traceEvery == 0 && l.checkEvery == 0 && l.ckptEvery == 0 {
 		return l.perRequestBare(src)
 	}
 	for l.demand < l.limit {
@@ -59,6 +78,9 @@ func (l *lifetimeState) perRequestLoop(src Source) error {
 		// writes.
 		if l.failed() {
 			return nil
+		}
+		if err := l.ckptAt(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -105,51 +127,56 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 	}
 	hasWriter := runWriter != nil || sweepWriter != nil
 	if hasWriter && l.reg != nil {
-		l.reg.Help("twl_ff_run_length", "demand writes absorbed per fast-path bulk chunk, by scheme")
-		l.reg.Help("twl_ff_events_total", "event writes served per-request inside the fast-forward loop, by scheme")
-		label := obs.L("scheme", l.s.Name())
-		l.ffRunLen = l.reg.Histogram("twl_ff_run_length", obs.ExponentialBuckets(1, 4, 11), label)
-		l.ffEvents = l.reg.Counter("twl_ff_events_total", label)
+		l.initFFMetrics()
 	}
 
 	for l.demand < l.limit {
-		addr, write, n := next(l.fb)
-		if n <= 0 {
-			continue
-		}
-		if !write {
-			for i := 0; i < n; i++ {
-				a := addr
-				if sweep {
-					a = addr + i
-				}
-				l.readOne(a)
+		if !l.runActive {
+			addr, write, n := next(l.fb)
+			if n <= 0 {
+				continue
 			}
-			continue
+			if !write {
+				// Read runs never intersect a checkpoint (checkpoints fire
+				// on demand-write boundaries only), so they are served
+				// whole and never persisted as pending state.
+				for i := 0; i < n; i++ {
+					a := addr
+					if sweep {
+						a = addr + i
+					}
+					l.readOne(a)
+				}
+				continue
+			}
+			l.runActive, l.runAddr, l.runN, l.runOff = true, addr, n, 0
 		}
-		off := 0
-		for n > 0 && l.demand < l.limit {
+		for l.runN > 0 && l.demand < l.limit {
 			if hasWriter {
-				chunk := l.boundedChunk(n)
+				chunk := l.boundedChunk(l.runN)
 				var cost wl.Cost
 				var absorbed int
 				if sweep {
-					cost, absorbed = sweepWriter.WriteSweep(addr+off, l.demand, chunk)
+					cost, absorbed = sweepWriter.WriteSweep(l.runAddr+l.runOff, l.demand, chunk)
 				} else {
-					cost, absorbed = runWriter.WriteRun(addr, l.demand, chunk)
+					cost, absorbed = runWriter.WriteRun(l.runAddr, l.demand, chunk)
 				}
 				if absorbed > 0 {
 					l.accountBulk(cost, absorbed)
-					n -= absorbed
-					off += absorbed
+					l.runN -= absorbed
+					l.runOff += absorbed
 					// Same order as the per-request path: the invariant
 					// check (only ever at a batch end, by boundedChunk)
-					// runs before the failure check.
+					// runs before the failure check, then the checkpoint
+					// cadence.
 					if err := l.checkAt(); err != nil {
 						return err
 					}
 					if l.failed() {
 						return nil
+					}
+					if err := l.ckptAt(); err != nil {
+						return err
 					}
 					continue
 				}
@@ -159,27 +186,46 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 			if l.ffEvents != nil {
 				l.ffEvents.Inc()
 			}
-			a := addr
+			a := l.runAddr
 			if sweep {
-				a = addr + off
+				a = l.runAddr + l.runOff
 			}
 			if err := l.writeOne(a); err != nil {
 				return err
 			}
-			n--
-			off++
+			l.runN--
+			l.runOff++
 			if l.failed() {
 				return nil
 			}
+			if err := l.ckptAt(); err != nil {
+				return err
+			}
+		}
+		if l.runN == 0 {
+			l.runActive = false
 		}
 	}
 	return nil
 }
 
+// initFFMetrics registers the fast-path diagnostic series. Called from
+// bulkLoop when the scheme has a bulk writer, and from checkpoint restore
+// when the interrupted run had them live — registry lookups are idempotent,
+// so both call sites resolve to the same handles in the same registration
+// order as an uninterrupted run.
+func (l *lifetimeState) initFFMetrics() {
+	l.reg.Help("twl_ff_run_length", "demand writes absorbed per fast-path bulk chunk, by scheme")
+	l.reg.Help("twl_ff_events_total", "event writes served per-request inside the fast-forward loop, by scheme")
+	label := obs.L("scheme", l.s.Name())
+	l.ffRunLen = l.reg.Histogram("twl_ff_run_length", obs.ExponentialBuckets(1, 4, 11), label)
+	l.ffEvents = l.reg.Counter("twl_ff_events_total", label)
+}
+
 // boundedChunk clamps a bulk request so it cannot cross the demand cap, a
-// trace progress boundary, or an invariant-check boundary — the fast path
-// then observes those cadences at exactly the same demand counts as the
-// per-request path.
+// trace progress boundary, an invariant-check boundary, or a checkpoint
+// boundary — the fast path then observes those cadences at exactly the same
+// demand counts as the per-request path.
 func (l *lifetimeState) boundedChunk(n int) int {
 	chunk := uint64(n)
 	if rem := l.limit - l.demand; rem < chunk {
@@ -192,6 +238,11 @@ func (l *lifetimeState) boundedChunk(n int) int {
 	}
 	if l.checkEvery > 0 {
 		if rem := l.checkEvery - l.demand%l.checkEvery; rem < chunk {
+			chunk = rem
+		}
+	}
+	if l.ckptEvery > 0 {
+		if rem := l.ckptEvery - l.demand%l.ckptEvery; rem < chunk {
 			chunk = rem
 		}
 	}

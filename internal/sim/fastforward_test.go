@@ -102,12 +102,13 @@ func demandPages(s wl.Scheme) int {
 	return s.Device().Pages()
 }
 
-// metricsJSON renders the registry as JSON with the twl_ff_* series
-// removed: those series describe the simulator's own fast-path chunking and
-// exist only when the bulk loop runs a scheme with a bulk writer, so they
-// are the one part of the registry the bit-identity contract does not cover
-// (the per-write path never creates them). Everything else — request
-// counters, latency histograms, run aggregates — must match exactly.
+// metricsJSON renders the registry as JSON with the twl_ff_* and twl_ckpt_*
+// series removed: twl_ff_* describes the simulator's own fast-path chunking
+// (the per-write path never creates it, and checkpoint-cadence clamping
+// legitimately reshapes it), and twl_ckpt_* describes the checkpoint
+// machinery itself. Neither is part of the bit-identity contract.
+// Everything else — request counters, latency histograms, run aggregates —
+// must match exactly.
 func metricsJSON(t *testing.T, reg *obs.Registry) string {
 	t.Helper()
 	var buf bytes.Buffer
@@ -120,7 +121,8 @@ func metricsJSON(t *testing.T, reg *obs.Registry) string {
 	}
 	kept := series[:0]
 	for _, s := range series {
-		if name, _ := s["name"].(string); !strings.HasPrefix(name, "twl_ff_") {
+		name, _ := s["name"].(string)
+		if !strings.HasPrefix(name, "twl_ff_") && !strings.HasPrefix(name, "twl_ckpt_") {
 			kept = append(kept, s)
 		}
 	}

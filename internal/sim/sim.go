@@ -18,6 +18,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 
 	"twl/internal/attack"
 	"twl/internal/obs"
@@ -113,7 +114,7 @@ type replayRec struct {
 
 // replaySource loops a recorded trace forever.
 type replaySource struct {
-	recs []replayRec
+	recs []replayRec // snap: construction input (the recorded trace itself)
 	pos  int
 }
 
@@ -200,6 +201,11 @@ type LifetimeConfig struct {
 	// exists for those tests and for benchmarking the paths against each
 	// other.
 	DisableFastForward bool
+	// Checkpoint, when non-nil, periodically serializes the whole run state
+	// to a file and/or resumes from one; see CheckpointConfig. The scheme
+	// and source must implement wl.Snapshotter or RunLifetime fails before
+	// serving any request.
+	Checkpoint *CheckpointConfig
 }
 
 // WearHistogramBuckets is the resolution of the wear/endurance snapshots in
@@ -294,6 +300,12 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	timing := dev.Timing()
 	checker, _ := s.(wl.Checker)
 
+	if cfg.Checkpoint != nil {
+		if err := validateCheckpointConfig(s, src, cfg.Checkpoint); err != nil {
+			return LifetimeResult{}, err
+		}
+	}
+
 	var metrics *lifetimeMetrics
 	if cfg.Metrics != nil {
 		metrics = newLifetimeMetrics(cfg.Metrics)
@@ -301,12 +313,6 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	var traceEvery uint64
 	if cfg.Trace != nil {
 		traceEvery = cfg.Trace.Every()
-		cfg.Trace.Emit("start",
-			obs.F("scheme", s.Name()),
-			obs.F("pages", dev.Pages()),
-			obs.F("total_endurance", totalEnd),
-			obs.F("max_demand_writes", limit),
-		)
 	}
 
 	l := &lifetimeState{
@@ -320,10 +326,40 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 		tracer:     cfg.Trace,
 		traceEvery: traceEvery,
 		limit:      limit,
+		src:        src,
 		res:        LifetimeResult{Scheme: s.Name(), FailedPage: -1},
 	}
 	if checker == nil {
 		l.checkEvery = 0
+	}
+
+	resuming := false
+	if ckpt := cfg.Checkpoint; ckpt != nil {
+		l.ckptPath = ckpt.Path
+		l.ckptEvery = ckpt.Every
+		if l.ckptEvery == 0 {
+			l.ckptEvery = DefaultCheckpointEvery
+		}
+		if cfg.Metrics != nil {
+			l.initCkptMetrics(cfg.Metrics)
+		}
+		if ckpt.Resume {
+			resuming = true
+			if err := l.restoreCheckpoint(); err != nil {
+				return LifetimeResult{}, fmt.Errorf("sim: resume from %s: %w", ckpt.Path, err)
+			}
+		}
+	}
+	// A resumed run continues the interrupted trace stream mid-flight: the
+	// start event was already emitted (and its seq restored), so only fresh
+	// runs announce themselves.
+	if cfg.Trace != nil && !resuming {
+		cfg.Trace.Emit("start",
+			obs.F("scheme", s.Name()),
+			obs.F("pages", dev.Pages()),
+			obs.F("total_endurance", totalEnd),
+			obs.F("max_demand_writes", limit),
+		)
 	}
 
 	// Fast-forward when the source can emit runs/sweeps; the bulk loop

@@ -49,6 +49,22 @@ func TestStdDev(t *testing.T) {
 	}
 }
 
+func TestStdDevSample(t *testing.T) {
+	if StdDevSample(nil) != 0 || StdDevSample([]float64{3}) != 0 {
+		t.Fatal("StdDevSample of <2 values != 0")
+	}
+	// Sample stddev of {2,4,4,4,5,5,7,9}: sum of squares 32, ÷7.
+	want := math.Sqrt(32.0 / 7)
+	if got := StdDevSample([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, want) {
+		t.Fatalf("StdDevSample = %v, want %v", got, want)
+	}
+	// Bessel's correction always widens the estimate over the population σ.
+	xs := []float64{1, 2, 6, 9}
+	if StdDevSample(xs) <= StdDev(xs) {
+		t.Fatal("sample stddev not larger than population stddev")
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	for _, tc := range []struct{ p, want float64 }{

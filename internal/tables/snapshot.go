@@ -1,0 +1,80 @@
+package tables
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Checkpoint persistence for the metadata tables. Every table persists its
+// complete contents — they are pure workload state with no derived caches —
+// so Restore only validates that the stream's geometry matches the receiver.
+
+// Snapshot serializes both directions of the mapping.
+func (r *Remap) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Ints(r.toPhys)
+	sw.Ints(r.toLog)
+	return sw.Err()
+}
+
+// Restore loads a mapping written by Snapshot into a table of the same size.
+func (r *Remap) Restore(rd io.Reader) error {
+	sr := snap.NewReader(rd)
+	sr.IntsInto(r.toPhys)
+	sr.IntsInto(r.toLog)
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	return r.CheckBijection()
+}
+
+// Snapshot serializes the counters and the first-touch order. The order
+// matters: WRL's swap phase sorts Touched() with a stable comparison, so
+// reproducing the pre-sort sequence is part of bit-identical resume.
+func (w *WriteCounts) Snapshot(wr io.Writer) error {
+	sw := snap.NewWriter(wr)
+	sw.U64s(w.counts)
+	sw.Ints(w.touched)
+	return sw.Err()
+}
+
+// Restore loads counters written by Snapshot.
+func (w *WriteCounts) Restore(rd io.Reader) error {
+	sr := snap.NewReader(rd)
+	sr.U64sInto(w.counts)
+	w.touched = sr.IntSlice(len(w.counts))
+	return sr.Err()
+}
+
+// Snapshot serializes the pairing.
+func (p *PairTable) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Ints(p.partner)
+	return sw.Err()
+}
+
+// Restore loads a pairing written by Snapshot and re-verifies the
+// involution invariant.
+func (p *PairTable) Restore(rd io.Reader) error {
+	sr := snap.NewReader(rd)
+	sr.IntsInto(p.partner)
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	return p.Check()
+}
+
+// Snapshot serializes the counter entries.
+func (c *Counter) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U8s(c.counts)
+	return sw.Err()
+}
+
+// Restore loads entries written by Snapshot.
+func (c *Counter) Restore(rd io.Reader) error {
+	sr := snap.NewReader(rd)
+	sr.U8sInto(c.counts)
+	return sr.Err()
+}

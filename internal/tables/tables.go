@@ -137,8 +137,8 @@ func (w *WriteCounts) Reset() {
 	w.touched = w.touched[:0]
 }
 
-// Snapshot returns a copy of the counters.
-func (w *WriteCounts) Snapshot() []uint64 {
+// Counts returns a copy of the counters.
+func (w *WriteCounts) Counts() []uint64 {
 	out := make([]uint64, len(w.counts))
 	copy(out, w.counts)
 	return out

@@ -91,12 +91,12 @@ func TestWriteCounts(t *testing.T) {
 	w.Record(1)
 	w.Record(3)
 	if w.Count(1) != 2 || w.Count(3) != 1 || w.Count(0) != 0 {
-		t.Fatalf("counts wrong: %v", w.Snapshot())
+		t.Fatalf("counts wrong: %v", w.Counts())
 	}
-	snap := w.Snapshot()
+	counts := w.Counts()
 	w.Record(0)
-	if snap[0] != 0 {
-		t.Fatal("snapshot aliases live counters")
+	if counts[0] != 0 {
+		t.Fatal("Counts aliases live counters")
 	}
 	w.Reset()
 	for i := 0; i < 4; i++ {

@@ -92,13 +92,13 @@ func BenchmarkByName(name string) (Benchmark, error) {
 // run die at the same normalized lifetime the paper reports. Reads follow
 // the same locality.
 type Synthetic struct {
-	bench     Benchmark
-	pages     int
-	footprint int     // active (written) pages
-	s         float64 // solved Zipf exponent
+	bench     Benchmark // snap: construction input
+	pages     int       // snap: construction input
+	footprint int       // snap: derived at NewSynthetic; active (written) pages
+	s         float64   // snap: derived at NewSynthetic; solved Zipf exponent
 
-	cdf  []float64 // cumulative write probability by rank
-	perm []int     // rank → logical page (seeded shuffle)
+	cdf  []float64 // snap: derived by buildCDF; cumulative write probability by rank
+	perm []int     // snap: derived by buildPerm; rank → logical page (seeded shuffle)
 	src  *rng.Xorshift
 
 	// Write-burst state: pages are visited in a fixed round-robin sweep
@@ -108,11 +108,11 @@ type Synthetic struct {
 	// inter-visit gap is exactly GapFactor × pages writes — matching the
 	// bounded recurrence of real working sets (a hot page is written a lot
 	// and often; it does not vanish for arbitrarily long stretches).
-	pdf       []float64 // write probability by rank
+	pdf       []float64 // snap: derived by buildCDF; write probability by rank
 	visit     int       // next rank in the sweep
 	burstPage int
 	burstLeft int
-	gapWrites float64 // GapFactor × pages
+	gapWrites float64 // snap: derived at NewSynthetic; GapFactor × pages
 }
 
 // NewSynthetic builds a generator for bench over pages logical pages.

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Snapshot serializes the generator's mutable state: the RNG stream
+// position and the burst machine. The Zipf solution, cdf/pdf tables and
+// rank permutation are derived from the benchmark, page count and seed at
+// NewSynthetic and are not persisted.
+func (g *Synthetic) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	if err := g.src.Snapshot(w); err != nil {
+		return err
+	}
+	sw.Int(g.visit)
+	sw.Int(g.burstPage)
+	sw.Int(g.burstLeft)
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot into a generator built with the
+// same benchmark, page count and seed.
+func (g *Synthetic) Restore(r io.Reader) error {
+	if err := g.src.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	g.visit = sr.Int()
+	g.burstPage = sr.Int()
+	g.burstLeft = sr.Int()
+	return sr.Err()
+}

@@ -30,10 +30,12 @@ package bwl
 
 import (
 	"fmt"
+	"io"
 
 	"twl/internal/bloom"
 	"twl/internal/pcm"
 	"twl/internal/rng"
+	"twl/internal/snap"
 	"twl/internal/tables"
 	"twl/internal/wl"
 )
@@ -84,8 +86,8 @@ func DefaultConfig(pages int, seed uint64) Config {
 
 // Scheme is a Bloom-filter based wear leveler.
 type Scheme struct {
-	dev *pcm.Device
-	cfg Config
+	dev *pcm.Device // snap: device state is checkpointed by the sim layer
+	cfg Config      // snap: construction input
 	rt  *tables.Remap
 	cbf *bloom.Counting // write-count estimates (hot-rotation approximation)
 	// seen is a ring of membership filters, one per recent epoch; an
@@ -104,21 +106,21 @@ type Scheme struct {
 	// dynamic threshold; the exact counter keeps the reproduction
 	// deterministic without changing the behavior being modeled.)
 	sinceMove  []uint32
-	moveThresh uint32
+	moveThresh uint32 // snap: derived from config/endurance at New
 
 	// coldLock[la] counts how many more of la's own writes the cold
 	// classification is trusted for; re-placement is suppressed while > 0.
 	coldLock []uint32
-	trust    uint32
+	trust    uint32 // snap: derived from config/endurance at New
 	// epochs counts completed epochs; cold classification needs a full
 	// silence window of history, since before that every address looks
 	// "silent".
 	epochs       int
-	byStrength   []int // physical pages sorted by descending endurance
+	byStrength   []int // snap: derived from the endurance map at New; physical pages sorted by descending endurance
 	strongCursor int
 	weakCursor   int
-	medianEnd    uint64
-	totalEnd     uint64
+	medianEnd    uint64 // snap: derived from the endurance map at New
+	totalEnd     uint64 // snap: derived from the endurance map at New
 }
 
 // silenceEpochs is how many consecutive epochs an address must go unwritten
@@ -446,6 +448,73 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+// Snapshot implements wl.Snapshotter: the remap table, both Bloom
+// structures, the epoch machinery, the per-address counters, the
+// tie-breaking RNG position, the placement cursors and the stats.
+func (s *Scheme) Snapshot(w io.Writer) error {
+	if err := s.rt.Snapshot(w); err != nil {
+		return err
+	}
+	if err := s.cbf.Snapshot(w); err != nil {
+		return err
+	}
+	for _, f := range s.seen {
+		if err := f.Snapshot(w); err != nil {
+			return err
+		}
+	}
+	sw := snap.NewWriter(w)
+	sw.Int(s.seenIdx)
+	sw.Int(s.epochLeft)
+	sw.Int(s.promotions)
+	sw.U32s(s.sinceMove)
+	sw.U32s(s.coldLock)
+	sw.Int(s.epochs)
+	sw.Int(s.strongCursor)
+	sw.Int(s.weakCursor)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if err := s.src.Snapshot(w); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter.
+func (s *Scheme) Restore(r io.Reader) error {
+	if err := s.rt.Restore(r); err != nil {
+		return err
+	}
+	if err := s.cbf.Restore(r); err != nil {
+		return err
+	}
+	for _, f := range s.seen {
+		if err := f.Restore(r); err != nil {
+			return err
+		}
+	}
+	sr := snap.NewReader(r)
+	s.seenIdx = sr.Int()
+	s.epochLeft = sr.Int()
+	s.promotions = sr.Int()
+	sr.U32sInto(s.sinceMove)
+	sr.U32sInto(s.coldLock)
+	s.epochs = sr.Int()
+	s.strongCursor = sr.Int()
+	s.weakCursor = sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if s.seenIdx < 0 || s.seenIdx >= silenceEpochs {
+		return fmt.Errorf("bwl: restored seenIdx %d outside [0,%d)", s.seenIdx, silenceEpochs)
+	}
+	if err := s.src.Restore(r); err != nil {
+		return err
+	}
+	return s.stats.Restore(r)
 }
 
 func init() {

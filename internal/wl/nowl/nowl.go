@@ -6,13 +6,15 @@
 package nowl
 
 import (
+	"io"
+
 	"twl/internal/pcm"
 	"twl/internal/wl"
 )
 
 // Scheme is the identity-mapping baseline.
 type Scheme struct {
-	dev   *pcm.Device
+	dev   *pcm.Device // snap: device state is checkpointed by the sim layer
 	stats wl.Stats
 }
 
@@ -61,6 +63,12 @@ func (s *Scheme) Device() *pcm.Device { return s.dev }
 
 // CheckInvariants implements wl.Checker (trivially: there is no state).
 func (s *Scheme) CheckInvariants() error { return nil }
+
+// Snapshot implements wl.Snapshotter: the only scheme state is the stats.
+func (s *Scheme) Snapshot(w io.Writer) error { return s.stats.Snapshot(w) }
+
+// Restore implements wl.Snapshotter.
+func (s *Scheme) Restore(r io.Reader) error { return s.stats.Restore(r) }
 
 func init() {
 	wl.Register(wl.Registration{

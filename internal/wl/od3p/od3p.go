@@ -38,8 +38,8 @@ func DefaultConfig() Config {
 
 // Scheme is an OD3P memory manager.
 type Scheme struct {
-	dev   *pcm.Device
-	cfg   Config
+	dev   *pcm.Device // snap: device state is checkpointed by the sim layer
+	cfg   Config      // snap: construction input
 	rt    *tables.Remap
 	stats wl.Stats
 
@@ -53,7 +53,7 @@ type Scheme struct {
 	// capacity), keyed by the failed physical page.
 	store map[int]uint64
 	// byStrength: pages by descending endurance, the spare-selection order.
-	byStrength []int
+	byStrength []int // snap: derived from the endurance map at New
 	pairings   uint64
 	// exhausted is set when a pairing was needed but no spare existed.
 	exhausted bool

@@ -1,0 +1,67 @@
+package od3p
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"twl/internal/snap"
+)
+
+// Snapshot implements wl.Snapshotter: the remap table, the pairing state
+// (buddies, hosted counts, the pair store in sorted-key order), the pairing
+// counters and the stats. The endurance-sorted spare order is derived at
+// New and not persisted.
+func (s *Scheme) Snapshot(w io.Writer) error {
+	if err := s.rt.Snapshot(w); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	sw.Ints(s.buddy)
+	sw.Ints(s.hosted)
+	keys := make([]int, 0, len(s.store))
+	for pa := range s.store {
+		keys = append(keys, pa)
+	}
+	sort.Ints(keys)
+	sw.Int(len(keys))
+	for _, pa := range keys {
+		sw.Int(pa)
+		sw.U64(s.store[pa])
+	}
+	sw.U64(s.pairings)
+	sw.Bool(s.exhausted)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter.
+func (s *Scheme) Restore(r io.Reader) error {
+	if err := s.rt.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	sr.IntsInto(s.buddy)
+	sr.IntsInto(s.hosted)
+	n := sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > s.dev.Pages() {
+		return fmt.Errorf("od3p: checkpoint pair store has %d entries for %d pages", n, s.dev.Pages())
+	}
+	store := make(map[int]uint64, n)
+	for i := 0; i < n; i++ {
+		pa := sr.Int()
+		store[pa] = sr.U64()
+	}
+	s.pairings = sr.U64()
+	s.exhausted = sr.Bool()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	s.store = store
+	return s.stats.Restore(r)
+}

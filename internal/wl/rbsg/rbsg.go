@@ -78,14 +78,14 @@ type region struct {
 
 // Scheme is the adaptive region-based Start-Gap wear leveler.
 type Scheme struct {
-	dev     *pcm.Device
-	cfg     Config
+	dev     *pcm.Device // snap: device state is checkpointed by the sim layer
+	cfg     Config      // snap: construction input
 	rt      *tables.Remap
 	regions []region
 	det     *detect.Detector
 	stats   wl.Stats
 
-	logicalPerRegion int
+	logicalPerRegion int    // snap: derived from geometry at New
 	boosted          uint64 // gap moves taken at the boosted rate
 	shuffles         uint64 // cross-region randomizing swaps under alarm
 	sinceShuffle     int

@@ -1,0 +1,58 @@
+package rbsg
+
+import (
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Snapshot implements wl.Snapshotter: the remap table, each region's
+// rotation progress (the affine randomization keys are construction
+// inputs), the embedded attack detector, the shuffle RNG position, the
+// adaptive-security counters and the stats.
+func (s *Scheme) Snapshot(w io.Writer) error {
+	if err := s.rt.Snapshot(w); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	for i := range s.regions {
+		sw.Int(s.regions[i].sinceMove)
+	}
+	sw.U64(s.boosted)
+	sw.U64(s.shuffles)
+	sw.Int(s.sinceShuffle)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if err := s.det.Snapshot(w); err != nil {
+		return err
+	}
+	if err := s.src.Snapshot(w); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter.
+func (s *Scheme) Restore(r io.Reader) error {
+	if err := s.rt.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	for i := range s.regions {
+		s.regions[i].sinceMove = sr.Int()
+	}
+	s.boosted = sr.U64()
+	s.shuffles = sr.U64()
+	s.sinceShuffle = sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if err := s.det.Restore(r); err != nil {
+		return err
+	}
+	if err := s.src.Restore(r); err != nil {
+		return err
+	}
+	return s.stats.Restore(r)
+}

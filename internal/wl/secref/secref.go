@@ -18,10 +18,12 @@ package secref
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 
 	"twl/internal/pcm"
 	"twl/internal/rng"
+	"twl/internal/snap"
 	"twl/internal/wl"
 )
 
@@ -57,6 +59,33 @@ type region struct {
 	sinceRef int // demand writes since last refresh step
 }
 
+// snapshot serializes the region's mutable state (keys, sweep position,
+// interval counter); base/size/mask are geometry fixed at construction.
+func (r *region) snapshot(sw *snap.Writer) {
+	sw.Int(r.keyOld)
+	sw.Int(r.keyNew)
+	sw.Int(r.sweep)
+	sw.Int(r.sinceRef)
+}
+
+// restore loads state written by snapshot and validates key/sweep ranges.
+func (r *region) restore(sr *snap.Reader) error {
+	r.keyOld = sr.Int()
+	r.keyNew = sr.Int()
+	r.sweep = sr.Int()
+	r.sinceRef = sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if r.keyOld < 0 || r.keyOld > r.mask || r.keyNew < 0 || r.keyNew > r.mask {
+		return fmt.Errorf("secref: restored keys %d/%d outside region size %d", r.keyOld, r.keyNew, r.size)
+	}
+	if r.sweep < 0 || r.sweep > r.size {
+		return fmt.Errorf("secref: restored sweep %d outside [0,%d]", r.sweep, r.size)
+	}
+	return nil
+}
+
 // phys returns the physical offset (within the region) for logical offset o.
 func (r *region) phys(o int) int {
 	if r.refreshed(o) {
@@ -75,8 +104,8 @@ func (r *region) refreshed(o int) bool {
 
 // Scheme is a Security Refresh wear leveler.
 type Scheme struct {
-	dev     *pcm.Device
-	cfg     Config
+	dev     *pcm.Device // snap: device state is checkpointed by the sim layer
+	cfg     Config      // snap: construction input
 	regions []region
 	src     *rng.Xorshift
 	stats   wl.Stats
@@ -86,7 +115,7 @@ type Scheme struct {
 	// address pair, so the cache is maintained with two entry updates per
 	// step and lets the bulk paths resolve addresses with one table load.
 	// CheckInvariants verifies it against the live computation.
-	composed []int
+	composed []int // snap: rebuilt from region keys on Restore
 }
 
 // New builds a Security Refresh scheme over dev.
@@ -284,6 +313,51 @@ func (s *Scheme) CheckInvariants() error {
 	if got := s.dev.TotalWrites(); got != want {
 		return fmt.Errorf("secref: device writes %d != demand %d + swap %d",
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
+	}
+	return nil
+}
+
+// Snapshot implements wl.Snapshotter: per-region key/sweep state, the key
+// RNG position and the stats.
+func (s *Scheme) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Int(len(s.regions))
+	for i := range s.regions {
+		s.regions[i].snapshot(sw)
+	}
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if err := s.src.Snapshot(w); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter; the composed la → pa cache is rebuilt
+// from the restored keys.
+func (s *Scheme) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	if n := sr.Int(); sr.Err() == nil && n != len(s.regions) {
+		return fmt.Errorf("secref: checkpoint has %d regions, scheme has %d", n, len(s.regions))
+	}
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	for i := range s.regions {
+		if err := s.regions[i].restore(sr); err != nil {
+			return err
+		}
+	}
+	if err := s.src.Restore(r); err != nil {
+		return err
+	}
+	if err := s.stats.Restore(r); err != nil {
+		return err
+	}
+	for la := range s.composed {
+		reg, o := s.locate(la)
+		s.composed[la] = reg.base + reg.phys(o)
 	}
 	return nil
 }

@@ -2,10 +2,12 @@ package secref
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 
 	"twl/internal/pcm"
 	"twl/internal/rng"
+	"twl/internal/snap"
 	"twl/internal/wl"
 )
 
@@ -76,8 +78,8 @@ func DefaultTwoLevelConfig(pages int, meanEndurance float64, seed uint64) TwoLev
 // an intermediate address; the intermediate address then passes the inner
 // remap of its region.
 type TwoLevel struct {
-	dev   *pcm.Device
-	cfg   TwoLevelConfig
+	dev   *pcm.Device    // snap: device state is checkpointed by the sim layer
+	cfg   TwoLevelConfig // snap: construction input
 	outer region
 	inner []region
 	src   *rng.Xorshift
@@ -86,14 +88,14 @@ type TwoLevel struct {
 	sinceOuter int
 	sinceInner []int
 
-	regionShift int // log2(inner region size); size is a power of two
+	regionShift int // snap: derived from geometry at NewTwoLevel; log2(inner region size)
 
 	// composed caches the full la → pa mapping. The two-level mapping is
 	// frozen between refresh steps, and each step re-maps exactly one
 	// address pair, so the cache is maintained with two entry updates per
 	// step and lets the bulk paths resolve addresses with one table load.
 	// CheckInvariants verifies it against the live two-level computation.
-	composed []int
+	composed []int // snap: rebuilt from region keys on Restore
 }
 
 // NewTwoLevel builds a two-level Security Refresh scheme over dev.
@@ -366,6 +368,61 @@ func (s *TwoLevel) CheckInvariants() error {
 	if got := s.dev.TotalWrites(); got != want {
 		return fmt.Errorf("secref: device writes %d != demand %d + swap %d",
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
+	}
+	return nil
+}
+
+// Snapshot implements wl.Snapshotter: outer and inner key/sweep state, the
+// per-level interval counters, the key RNG position and the stats.
+func (s *TwoLevel) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	s.outer.snapshot(sw)
+	sw.Int(len(s.inner))
+	for i := range s.inner {
+		s.inner[i].snapshot(sw)
+	}
+	sw.Int(s.sinceOuter)
+	sw.Ints(s.sinceInner)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if err := s.src.Snapshot(w); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter; the composed la → pa cache is rebuilt
+// from the restored keys.
+func (s *TwoLevel) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	if err := s.outer.restore(sr); err != nil {
+		return err
+	}
+	if n := sr.Int(); sr.Err() == nil && n != len(s.inner) {
+		return fmt.Errorf("secref: checkpoint has %d inner regions, scheme has %d", n, len(s.inner))
+	}
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	for i := range s.inner {
+		if err := s.inner[i].restore(sr); err != nil {
+			return err
+		}
+	}
+	s.sinceOuter = sr.Int()
+	sr.IntsInto(s.sinceInner)
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if err := s.src.Restore(r); err != nil {
+		return err
+	}
+	if err := s.stats.Restore(r); err != nil {
+		return err
+	}
+	for la := range s.composed {
+		s.composed[la] = s.physical(la)
 	}
 	return nil
 }

@@ -19,9 +19,11 @@ package startgap
 
 import (
 	"fmt"
+	"io"
 
 	"twl/internal/pcm"
 	"twl/internal/rng"
+	"twl/internal/snap"
 	"twl/internal/tables"
 	"twl/internal/wl"
 )
@@ -45,18 +47,18 @@ func DefaultConfig(seed uint64) Config {
 // Scheme is a Start-Gap wear leveler. It serves Pages()-1 logical pages over
 // a device with Pages() physical pages; the extra page is the rotating gap.
 type Scheme struct {
-	dev   *pcm.Device
-	cfg   Config
+	dev   *pcm.Device   // snap: device state is checkpointed by the sim layer
+	cfg   Config        // snap: construction input
 	rt    *tables.Remap // logical (incl. gap page) → physical
 	stats wl.Stats
 
-	logical   int // number of demand-addressable pages (device pages - 1)
-	gapLA     int // the dummy logical index owning the gap slot (== logical)
+	logical   int // snap: derived from device geometry at New
+	gapLA     int // snap: derived from device geometry at New
 	sinceMove int
 	// Affine randomization: ra*la + rb mod logical, with gcd(ra, logical)=1.
-	ra, rb int
+	ra, rb int // snap: derived from seed at New
 
-	scratch []int // physical-address batch for WriteSweep
+	scratch []int // snap: scratch buffer; physical-address batch for WriteSweep
 }
 
 // New builds a Start-Gap scheme over dev.
@@ -261,6 +263,34 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+// Snapshot implements wl.Snapshotter: the remap table, the gap-interval
+// counter and the stats are the only workload-evolved state; the affine
+// randomization constants are re-derived from the seed at New.
+func (s *Scheme) Snapshot(w io.Writer) error {
+	if err := s.rt.Snapshot(w); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	sw.Int(s.sinceMove)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter.
+func (s *Scheme) Restore(r io.Reader) error {
+	if err := s.rt.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	s.sinceMove = sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	return s.stats.Restore(r)
 }
 
 func init() {

@@ -14,9 +14,11 @@ package wl
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"twl/internal/pcm"
+	"twl/internal/snap"
 )
 
 // Cost describes what one logical request cost the machine.
@@ -59,6 +61,28 @@ type Stats struct {
 	TossUps      uint64 // toss-up evaluations (TWL only)
 }
 
+// Snapshot serializes the counters for a checkpoint.
+func (s *Stats) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U64(s.DemandWrites)
+	sw.U64(s.DemandReads)
+	sw.U64(s.SwapWrites)
+	sw.U64(s.Swaps)
+	sw.U64(s.TossUps)
+	return sw.Err()
+}
+
+// Restore loads counters written by Snapshot.
+func (s *Stats) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	s.DemandWrites = sr.U64()
+	s.DemandReads = sr.U64()
+	s.SwapWrites = sr.U64()
+	s.Swaps = sr.U64()
+	s.TossUps = sr.U64()
+	return sr.Err()
+}
+
 // SwapWriteRatio returns swap writes per demand write — the Figure 7a
 // metric.
 func (s Stats) SwapWriteRatio() float64 {
@@ -88,6 +112,30 @@ type Scheme interface {
 // paranoid mode and the integration tests call it.
 type Checker interface {
 	CheckInvariants() error
+}
+
+// Snapshotter is the optional checkpoint interface. A scheme (or any other
+// stateful simulation component) that implements it can be serialized into
+// a lifetime checkpoint and restored bit-identically.
+//
+// Contract:
+//
+//   - Restore is called on a freshly constructed value built with the same
+//     configuration and seed as the snapshotted one; it overwrites every
+//     piece of mutable state. Configuration and state derived purely from
+//     construction inputs (geometry, endurance-derived orderings, scratch
+//     buffers) need not be persisted, but anything that evolves with the
+//     workload — remap tables, counters, RNG stream positions, phase
+//     machines — must be, so that the write stream after Restore is
+//     indistinguishable from one that never stopped.
+//   - Snapshot must not mutate state, and Restore must fail (returning an
+//     error) rather than partially apply when the stream does not match the
+//     receiver's geometry.
+//   - The scheme's Device() state is checkpointed separately by the
+//     simulator; schemes persist only their own structures.
+type Snapshotter interface {
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
 }
 
 // RunWriter is the optional fast-forward interface for same-address write

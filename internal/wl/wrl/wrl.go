@@ -21,9 +21,11 @@ package wrl
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"twl/internal/pcm"
+	"twl/internal/snap"
 	"twl/internal/tables"
 	"twl/internal/wl"
 )
@@ -66,17 +68,17 @@ const (
 
 // Scheme is a Wear Rate Leveling wear leveler.
 type Scheme struct {
-	dev   *pcm.Device
-	cfg   Config
+	dev   *pcm.Device // snap: device state is checkpointed by the sim layer
+	cfg   Config      // snap: construction input
 	rt    *tables.Remap
 	wnt   *tables.WriteCounts
 	stats wl.Stats
 
 	phase      phase
 	phaseLeft  int   // demand writes remaining in the current phase
-	byStrength []int // physical pages sorted by descending endurance
+	byStrength []int // snap: derived from the endurance map at New; physical pages sorted by descending endurance
 
-	scratch []int // physical-address batch for WriteSweep
+	scratch []int // snap: scratch buffer; physical-address batch for WriteSweep
 }
 
 var _ wl.Scheme = (*Scheme)(nil)
@@ -368,6 +370,46 @@ func (s *Scheme) CheckInvariants() error {
 			got, s.stats.DemandWrites, s.stats.SwapWrites)
 	}
 	return nil
+}
+
+// Snapshot implements wl.Snapshotter: the remap table, the WNT (including
+// its first-touch order, which feeds the swap-phase ranking), the phase
+// machine and the stats.
+func (s *Scheme) Snapshot(w io.Writer) error {
+	if err := s.rt.Snapshot(w); err != nil {
+		return err
+	}
+	if err := s.wnt.Snapshot(w); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	sw.Int(int(s.phase))
+	sw.Int(s.phaseLeft)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	return s.stats.Snapshot(w)
+}
+
+// Restore implements wl.Snapshotter.
+func (s *Scheme) Restore(r io.Reader) error {
+	if err := s.rt.Restore(r); err != nil {
+		return err
+	}
+	if err := s.wnt.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	ph := sr.Int()
+	s.phaseLeft = sr.Int()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if ph != int(predicting) && ph != int(running) {
+		return fmt.Errorf("wrl: restored phase %d invalid", ph)
+	}
+	s.phase = phase(ph)
+	return s.stats.Restore(r)
 }
 
 func init() {

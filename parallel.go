@@ -83,10 +83,14 @@ func (o *cellObserver) finish(workers int, wall time.Duration) {
 	o.reg.Gauge("twl_cells_utilization").Set(busy.Seconds() / (wall.Seconds() * float64(workers)))
 }
 
-// runCells runs tasks concurrently and returns the first error (if any).
-// reg and tr are optional observability sinks for per-cell timing, worker
-// count and utilization.
-func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) error {
+// runCells runs tasks concurrently. It returns a per-task completion mask —
+// completed[i] is true iff tasks[i] ran to success — alongside the first
+// error (if any). On error the grid is partial: workers stop grabbing new
+// tasks, so an unpredictable subset of the caller-indexed result slots was
+// never written. Callers must consult the mask (or abandon the grid) rather
+// than consume those zero-valued slots as results. reg and tr are optional
+// observability sinks for per-cell timing, worker count and utilization.
+func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) ([]bool, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -96,21 +100,26 @@ func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) error {
 	if obsv != nil {
 		start = clock.Now()
 	}
-	err := dispatchCells(workers, obsv, tasks)
+	completed, err := dispatchCells(workers, obsv, tasks)
 	if obsv != nil {
 		obsv.finish(workers, clock.Since(start))
 	}
-	return err
+	return completed, err
 }
 
-func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) error {
+// dispatchCells executes tasks on up to `workers` goroutines. The returned
+// mask records which tasks completed successfully; each slot is written by
+// exactly one worker before wg.Wait, so the caller reads it race-free.
+func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) ([]bool, error) {
+	completed := make([]bool, len(tasks))
 	if workers <= 1 {
-		for _, t := range tasks {
+		for i, t := range tasks {
 			if err := obsv.observe(t); err != nil {
-				return err
+				return completed, err
 			}
+			completed[i] = true
 		}
-		return nil
+		return completed, nil
 	}
 	var (
 		wg       sync.WaitGroup
@@ -118,15 +127,15 @@ func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) error {
 		firstErr error
 		next     int
 	)
-	grab := func() (cellTask, bool) {
+	grab := func() (cellTask, int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr != nil || next >= len(tasks) {
-			return cellTask{}, false
+			return cellTask{}, 0, false
 		}
-		t := tasks[next]
+		t, i := tasks[next], next
 		next++
-		return t, true
+		return t, i, true
 	}
 	fail := func(err error) {
 		mu.Lock()
@@ -140,7 +149,7 @@ func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) error {
 		go func() {
 			defer wg.Done()
 			for {
-				t, ok := grab()
+				t, i, ok := grab()
 				if !ok {
 					return
 				}
@@ -148,11 +157,23 @@ func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) error {
 					fail(err)
 					return
 				}
+				completed[i] = true
 			}
 		}()
 	}
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
-	return firstErr
+	return completed, firstErr
+}
+
+// countCompleted is a helper for error messages about partial grids.
+func countCompleted(completed []bool) int {
+	n := 0
+	for _, c := range completed {
+		if c {
+			n++
+		}
+	}
+	return n
 }

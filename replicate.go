@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"twl/internal/clock"
+	"twl/internal/stats"
 )
 
 // Replication runs an experiment across independent seeds and aggregates
@@ -19,6 +20,10 @@ type ReplicateResult struct {
 	Runs   int
 	Values []float64
 	Mean   float64
+	// StdDev is the sample standard deviation (Bessel-corrected, ÷n−1): the
+	// replicated runs are a sample of the seed population, not the
+	// population itself, so the unbiased estimator is the right error bar.
+	// It is 0 when Runs == 1.
 	StdDev float64
 	Min    float64
 	Max    float64
@@ -36,7 +41,6 @@ func Replicate(base SystemConfig, n int, measure func(sys SystemConfig) (float64
 		return ReplicateResult{}, errors.New("twl: Replicate needs n > 0")
 	}
 	res := ReplicateResult{Runs: n, Min: math.Inf(1), Max: math.Inf(-1)}
-	sum := 0.0
 	for i := 0; i < n; i++ {
 		sys := base
 		sys.Seed = base.Seed + uint64(i)
@@ -49,7 +53,6 @@ func Replicate(base SystemConfig, n int, measure func(sys SystemConfig) (float64
 		res.Durations = append(res.Durations, d)
 		res.Elapsed += d
 		res.Values = append(res.Values, v)
-		sum += v
 		if v < res.Min {
 			res.Min = v
 		}
@@ -57,13 +60,8 @@ func Replicate(base SystemConfig, n int, measure func(sys SystemConfig) (float64
 			res.Max = v
 		}
 	}
-	res.Mean = sum / float64(n)
-	varsum := 0.0
-	for _, v := range res.Values {
-		d := v - res.Mean
-		varsum += d * d
-	}
-	res.StdDev = math.Sqrt(varsum / float64(n))
+	res.Mean = stats.Mean(res.Values)
+	res.StdDev = stats.StdDevSample(res.Values)
 	return res, nil
 }
 

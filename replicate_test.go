@@ -25,9 +25,24 @@ func TestReplicateAggregates(t *testing.T) {
 	if res.Mean != 1.5 || res.Min != 0 || res.Max != 3 {
 		t.Fatalf("mean/min/max = %v/%v/%v", res.Mean, res.Min, res.Max)
 	}
-	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	// Sample σ (÷n−1): the four runs are a sample of the seed population.
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
 	if math.Abs(res.StdDev-want) > 1e-12 {
 		t.Fatalf("stddev %v, want %v", res.StdDev, want)
+	}
+}
+
+// TestReplicateSingleRunStdDev: one run gives no spread estimate; the sample
+// estimator must report 0, not NaN (÷n−1 would divide by zero).
+func TestReplicateSingleRunStdDev(t *testing.T) {
+	res, err := Replicate(SmallSystem(10), 1, func(SystemConfig) (float64, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StdDev != 0 {
+		t.Fatalf("single-run stddev %v, want 0", res.StdDev)
 	}
 }
 
