@@ -2,8 +2,14 @@
 //
 //	attacksim -fig6    lifetime under the four attack modes (Figure 6)
 //	attacksim -fig7    toss-up interval sweep (Figure 7 a & b)
+//	attacksim -retire  lifetime beyond first failure with a spare pool
 //
-// Both run on the scaled default system; -pages/-endurance/-seed adjust the
+// The -retire experiment attaches the page-retirement decorator and runs
+// each scheme past its first failure until the spare pool exhausts,
+// answering: how much lifetime does the pool buy, and does the attack
+// accelerate once its traffic concentrates on the spares?
+//
+// All run on the scaled default system; -pages/-endurance/-seed adjust the
 // scale. Results print as tables plus ASCII bar charts mirroring the
 // figures.
 package main
@@ -22,6 +28,9 @@ func main() {
 	var (
 		fig6       = flag.Bool("fig6", false, "run the Figure 6 attack grid")
 		fig7       = flag.Bool("fig7", false, "run the Figure 7 interval sweep")
+		retire     = flag.Bool("retire", false, "run the post-failure retirement experiment")
+		spareFrac  = flag.Float64("spare-frac", twl.DefaultSpareFraction, "spare-pool fraction for -retire")
+		retireThr  = flag.Float64("retire-threshold", 0, "capacity threshold for -retire (0: run until the pool is exhausted)")
 		pages      = flag.Int("pages", 0, "simulated pages (default: DefaultSystem)")
 		endurance  = flag.Float64("endurance", 0, "mean endurance (default: DefaultSystem)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
@@ -33,7 +42,7 @@ func main() {
 		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
-	if !*fig6 && !*fig7 {
+	if !*fig6 && !*fig7 && !*retire {
 		*fig6 = true
 		*fig7 = true
 	}
@@ -74,6 +83,9 @@ func main() {
 		}
 		runFig7(sys, cfg)
 	}
+	if *retire {
+		runRetire(sys, *spareFrac, *retireThr, reg, tr)
+	}
 	if *replicate > 0 {
 		runReplicate(sys, *replicate)
 	}
@@ -81,6 +93,44 @@ func main() {
 		fmt.Println()
 		fatal(reg.WriteText(os.Stdout))
 	}
+}
+
+// runRetire runs the post-failure experiment: each scheme under the
+// inconsistent attack (the paper's hardest pattern) and, for contrast, the
+// random attack, with a spare pool behind it. The Accel column compares the
+// retirement rate early vs late in each run — above 1, failures arrive
+// faster as the run ages, i.e. the attack accelerates once its traffic
+// lands on the shrinking spare pool.
+func runRetire(sys twl.SystemConfig, frac, threshold float64, reg *twl.MetricsRegistry, tr *twl.Tracer) {
+	sys = sys.WithSpareFraction(frac)
+	tb := report.NewTable(
+		fmt.Sprintf("\nLifetime beyond first failure — %d spare pages (%.1f%%)", sys.SparePages, frac*100),
+		"scheme", "attack", "first fail (y)", "final (y)", "extension", "mean gap (Mw)", "accel")
+	for _, scheme := range []string{"NOWL", "BWL", "SR", "TWL_swp"} {
+		for _, mode := range []twl.AttackMode{twl.AttackRandom, twl.AttackInconsistent} {
+			cfg := twl.DefaultRetirementConfig()
+			cfg.Scheme = scheme
+			cfg.Mode = mode
+			cfg.SpareFraction = frac
+			cfg.CapacityThreshold = threshold
+			cfg.Metrics = reg
+			cfg.Trace = tr
+			res, err := twl.RunRetirement(sys, cfg)
+			fatal(err)
+			accel := "n/a"
+			if res.Accel > 0 {
+				accel = fmt.Sprintf("%.2f", res.Accel)
+			}
+			tb.AddRow(scheme, mode.String(),
+				fmt.Sprintf("%.3f", res.FirstFailureYears),
+				fmt.Sprintf("%.3f", res.FinalYears),
+				fmt.Sprintf("%.2fx", res.ExtensionRatio),
+				fmt.Sprintf("%.3f", res.MeanGapWrites/1e6),
+				accel)
+		}
+	}
+	fatal(tb.Render(os.Stdout))
+	fmt.Println("\naccel > 1: retirements arrive faster late in the run — the attack speeds up once it targets the spares.")
 }
 
 func runReplicate(sys twl.SystemConfig, n int) {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// decoratorAnalyzer enforces the interception-completeness contract
+// (DESIGN.md "Decorator composition"): a named struct type that embeds the
+// wl.Scheme interface and declares its own Write method is a decorator — it
+// interposes on the per-request write path. Such a type must also implement
+// every optional capability interface (wl.Checker, wl.Snapshotter,
+// wl.RunWriter, wl.SweepWriter). A missing implementation is not a
+// capability loss — Wrap simply withholds the interface — but a silent
+// bypass hazard: if the composite is built any other way, the embedded
+// scheme's interface methods serve that path directly, skipping whatever
+// the decorator's Write interposes (a bulk write that dodges failure
+// handling, a checkpoint that drops decorator state, paranoid mode that
+// never sees the decorator's invariants). One diagnostic per missing
+// interface; a decorator that genuinely wants pass-through for one
+// capability states so in twlint.allow.
+var decoratorAnalyzer = &analyzer{
+	name: "decorator",
+	doc:  "a type embedding wl.Scheme that overrides Write must implement every optional scheme interface",
+}
+
+func init() { decoratorAnalyzer.run = runDecorator }
+
+// optionalIfaces are the capability interfaces Wrap forwards; a decorator
+// must intercept each one.
+var optionalIfaces = []string{"Checker", "Snapshotter", "RunWriter", "SweepWriter"}
+
+func runDecorator(p *Package, w *world) []Diagnostic {
+	if !internalScope(p.Path) {
+		return nil
+	}
+	wlPkg := w.wlContract(p)
+	ifaces := make(map[string]*types.Interface, len(optionalIfaces))
+	for _, name := range optionalIfaces {
+		iface := lookupInterface(wlPkg, name)
+		if iface == nil {
+			return nil // wl package shape changed; the build would have caught real breakage
+		}
+		ifaces[name] = iface
+	}
+
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if testSupport(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok || obj.IsAlias() {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok || !embedsScheme(st) || !declaresWrite(named) {
+					continue
+				}
+				ptr := types.NewPointer(named)
+				for _, name := range optionalIfaces {
+					if types.Implements(named, ifaces[name]) || types.Implements(ptr, ifaces[name]) {
+						continue
+					}
+					diags = report(diags, p, w, decoratorAnalyzer, obj.Pos(),
+						"decorator %s embeds wl.Scheme and overrides Write but does not implement wl.%s; the embedded scheme's method serves that path without the decorator's interception", named.Obj().Name(), name)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// embedsScheme reports whether the struct has an embedded field of the
+// wl.Scheme interface type itself (not a concrete scheme).
+func embedsScheme(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && isWLNamed(f.Type(), "Scheme") {
+			return true
+		}
+	}
+	return false
+}
+
+// declaresWrite reports whether the named type declares its own Write method
+// (promoted methods from the embedded scheme do not count — a type that
+// merely forwards everything interposes on nothing).
+func declaresWrite(named *types.Named) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Write" {
+			return true
+		}
+	}
+	return false
+}

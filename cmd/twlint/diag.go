@@ -123,6 +123,7 @@ var analyzers = []*analyzer{
 	costAnalyzer,
 	locksAnalyzer,
 	snapshotAnalyzer,
+	decoratorAnalyzer,
 }
 
 // world is the cross-package context shared by all analyzers over one run:

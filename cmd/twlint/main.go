@@ -19,6 +19,11 @@
 //     method must be written by Snapshot (checkpointed) or carry a snap:
 //     comment explaining its exemption — unpersisted mutable state breaks
 //     the bit-identical-resume guarantee.
+//   - decorator: a named struct type embedding the wl.Scheme interface that
+//     declares its own Write must implement every optional capability
+//     interface (wl.Checker/wl.Snapshotter/wl.RunWriter/wl.SweepWriter) —
+//     otherwise the embedded scheme's promoted methods serve those paths
+//     without the decorator's interception.
 //
 // Built entirely on the stdlib go/ast, go/parser, go/token and go/types
 // packages (module policy: no external dependencies). Usage:

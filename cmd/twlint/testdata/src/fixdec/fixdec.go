@@ -1,0 +1,58 @@
+// Package fixdec exercises the decorator analyzer: named struct types that
+// embed the wl.Scheme interface and declare their own Write must implement
+// every optional capability interface, or the embedded scheme's methods
+// serve those paths without the decorator's interception.
+package fixdec
+
+import (
+	"io"
+
+	"twl/internal/wl"
+)
+
+// Leaky embeds wl.Scheme and overrides Write but implements none of the
+// optional interfaces: four findings, one per missing interface.
+type Leaky struct{ wl.Scheme }
+
+func (d *Leaky) Write(la int, tag uint64) wl.Cost { return d.Scheme.Write(la, tag) }
+
+// Partial intercepts the bulk paths but not Checker or Snapshotter: two
+// findings.
+type Partial struct{ wl.Scheme }
+
+func (d *Partial) Write(la int, tag uint64) wl.Cost { return d.Scheme.Write(la, tag) }
+func (d *Partial) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	return d.Scheme.(wl.RunWriter).WriteRun(la, tag, n)
+}
+func (d *Partial) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	return d.Scheme.(wl.SweepWriter).WriteSweep(la, tag, n)
+}
+
+// Complete intercepts every path: clean.
+type Complete struct{ wl.Scheme }
+
+func (d *Complete) Write(la int, tag uint64) wl.Cost { return d.Scheme.Write(la, tag) }
+func (d *Complete) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	return d.Scheme.(wl.RunWriter).WriteRun(la, tag, n)
+}
+func (d *Complete) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	return d.Scheme.(wl.SweepWriter).WriteSweep(la, tag, n)
+}
+func (d *Complete) CheckInvariants() error       { return d.Scheme.(wl.Checker).CheckInvariants() }
+func (d *Complete) Snapshot(out io.Writer) error { return d.Scheme.(wl.Snapshotter).Snapshot(out) }
+func (d *Complete) Restore(in io.Reader) error   { return d.Scheme.(wl.Snapshotter).Restore(in) }
+
+// Forwarder embeds wl.Scheme but declares no Write of its own — it
+// interposes on nothing, so the rule does not apply: clean.
+type Forwarder struct {
+	wl.Scheme
+	label string
+}
+
+// Holder has a plain (non-embedded) scheme field and its own Write; not a
+// promotion hazard, so the rule does not apply: clean.
+type Holder struct {
+	inner wl.Scheme
+}
+
+func (h *Holder) Write(la int, tag uint64) wl.Cost { return h.inner.Write(la, tag) }

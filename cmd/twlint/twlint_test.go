@@ -23,6 +23,7 @@ var fixtures = []struct {
 	{costAnalyzer, "fixcost", "twl/internal/fixcost"},
 	{locksAnalyzer, "fixlocks", "twl/internal/fixlocks"},
 	{snapshotAnalyzer, "fixsnap", "twl/internal/fixsnap"},
+	{decoratorAnalyzer, "fixdec", "twl/internal/fixdec"},
 }
 
 // loadFixture type-checks one fixture package and builds the analysis world

@@ -48,6 +48,9 @@ func main() {
 		ckptFile   = flag.String("checkpoint", "", "periodically checkpoint the run to this file (crash-safe, atomically replaced)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "checkpoint every N demand writes (0: default cadence)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+		spareFrac  = flag.Float64("spare-frac", 0, "provision this fraction of pages as spares and retire failed pages onto them (0: stop at first failure)")
+		retireThr  = flag.Float64("retire-threshold", 0, "with -spare-frac, end the run once this fraction of pages is retired (0: run until the pool is exhausted)")
+		curveFile  = flag.String("curve", "", "with -spare-frac, write the capacity-vs-writes curve to this CSV file")
 	)
 	flag.Parse()
 
@@ -65,6 +68,13 @@ func main() {
 		defer func() { fatal(stop()) }()
 	}
 
+	if *retireThr != 0 && *spareFrac == 0 {
+		fatal(fmt.Errorf("-retire-threshold requires -spare-frac"))
+	}
+	if *curveFile != "" && *spareFrac == 0 {
+		fatal(fmt.Errorf("-curve requires -spare-frac"))
+	}
+
 	sys := twl.DefaultSystem(*seed)
 	if *pages > 0 {
 		sys.Pages = *pages
@@ -72,9 +82,14 @@ func main() {
 	if *endurance > 0 {
 		sys.MeanEndurance = *endurance
 	}
+	var opts []twl.SchemeOption
+	if *spareFrac > 0 {
+		sys = sys.WithSpareFraction(*spareFrac)
+		opts = append(opts, twl.WithRetirement(twl.RetireConfig{CapacityThreshold: *retireThr}))
+	}
 	dev, err := sys.NewDevice()
 	fatal(err)
-	s, err := twl.NewScheme(*scheme, dev, *seed+7)
+	s, err := twl.NewScheme(*scheme, dev, *seed+7, opts...)
 	fatal(err)
 
 	var src sim.Source
@@ -145,12 +160,37 @@ func main() {
 	tb.AddRowf("swap/write ratio", fmt.Sprintf("%.4f", float64(res.SwapWrites)/float64(max64(res.DemandWrites, 1))))
 	tb.AddRowf("normalized lifetime", fmt.Sprintf("%.4f", res.Normalized))
 	tb.AddRowf("lifetime (years)", fmt.Sprintf("%.2f", res.Years(ideal)))
-	if res.Capped {
+	switch {
+	case res.Capped:
 		tb.AddRowf("note", "run hit the write cap without a failure")
-	} else {
+	case *spareFrac > 0:
+		// FailedPage is the failure the spare pool could no longer absorb —
+		// often a spare index (>= sys.Pages).
+		tb.AddRowf("final failed page", fmt.Sprintf("%d (endurance %d)", res.FailedPage, dev.Endurance(res.FailedPage)))
+	default:
 		tb.AddRowf("first failed page", fmt.Sprintf("%d (endurance %d)", res.FailedPage, dev.Endurance(res.FailedPage)))
 	}
+	if *spareFrac > 0 {
+		tb.AddRowf("spare pool", fmt.Sprintf("%d pages (%.1f%% of %d)", res.SparePages, *spareFrac*100, sys.Pages))
+		tb.AddRowf("retired pages", fmt.Sprintf("%d", res.RetiredPages))
+		tb.AddRowf("spares used", fmt.Sprintf("%d / %d", res.SparesUsed, res.SparePages))
+		switch {
+		case res.FailCause != nil:
+			tb.AddRowf("end cause", res.FailCause.Error())
+		case res.Capped:
+			tb.AddRowf("end cause", "write cap")
+		}
+	}
 	fatal(tb.Render(os.Stdout))
+
+	if *curveFile != "" {
+		cs, ok := twl.CapacityOf(s)
+		if !ok {
+			fatal(fmt.Errorf("scheme reports no capacity curve"))
+		}
+		fatal(writeCurve(*curveFile, cs))
+		fmt.Printf("\ncapacity curve: %d retirement events written to %s\n", len(cs.Curve), *curveFile)
+	}
 
 	if *heatmap {
 		fractions := make([]float64, dev.Pages())
@@ -196,6 +236,29 @@ func parseMode(s string) (attack.Mode, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown attack %q (repeat, random, scan, inconsistent)", s)
+}
+
+// writeCurve dumps the capacity-vs-writes curve as CSV: one row per
+// retirement event, at the demand-write count where it fired.
+func writeCurve(path string, cs twl.CapacityStats) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := fmt.Fprintln(f, "demand_writes,retired_pages,spares_used"); err != nil {
+		return err
+	}
+	for _, p := range cs.Curve {
+		if _, err := fmt.Fprintf(f, "%d,%d,%d\n", p.DemandWrites, p.Retired, p.SparesUsed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func max64(a, b uint64) uint64 {

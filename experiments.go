@@ -538,6 +538,178 @@ type HardwareCostReport struct {
 	Logic        hwcost.LogicCost
 }
 
+// ------------------------------------------------------------------------
+// Lifetime beyond first failure: spare-pool retirement under attack.
+// ------------------------------------------------------------------------
+
+// DefaultSpareFraction is the spare-pool provisioning used when a
+// retirement experiment is given a system without one (3% of the visible
+// pages, inside the typical 2–5% band).
+const DefaultSpareFraction = 0.03
+
+// RetirementConfig controls a lifetime-beyond-first-failure run.
+type RetirementConfig struct {
+	// Scheme under test; defaults to TWL_swp.
+	Scheme string
+	// Mode is the attack; defaults to AttackInconsistent — the paper's
+	// hardest pattern, and the one whose post-failure behavior the spare
+	// pool changes most (the attacker's traffic follows the remap onto the
+	// spares).
+	Mode AttackMode
+	// SpareFraction provisions the spare pool when the system config has
+	// SparePages == 0 (default DefaultSpareFraction).
+	SpareFraction float64
+	// CapacityThreshold ends the run once this fraction of visible pages is
+	// retired (0 = run until the spare pool itself is exhausted).
+	CapacityThreshold float64
+	// BandwidthBytesPerSec converts write counts to years (default
+	// Fig6AttackBandwidth).
+	BandwidthBytesPerSec float64
+	// Metrics, when non-nil, receives the run's counters plus the
+	// twl_retire_* series.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives the run's progress events (with retired
+	// and spares_used fields) and the end event.
+	Trace *Tracer
+}
+
+// DefaultRetirementConfig returns the TWL-vs-inconsistent-attack setup.
+func DefaultRetirementConfig() RetirementConfig {
+	return RetirementConfig{
+		Scheme:               "TWL_swp",
+		Mode:                 AttackInconsistent,
+		SpareFraction:        DefaultSpareFraction,
+		BandwidthBytesPerSec: Fig6AttackBandwidth,
+	}
+}
+
+// RetirementResult summarizes a run past its first failure.
+type RetirementResult struct {
+	Scheme string
+	Mode   AttackMode
+	// Result is the underlying lifetime summary (FailCause, RetiredPages,
+	// SparesUsed, SparePages are filled by the simulator).
+	Result LifetimeResult
+	// Curve is the capacity-vs-writes curve: one point per retirement
+	// event, at the demand-write count where it fired.
+	Curve []CapacityPoint
+	// FirstFailureWrites is the demand-write count of the first page
+	// failure — the run's lifetime under the old (first-failure)
+	// definition.
+	FirstFailureWrites uint64
+	// ExtensionRatio is final demand writes / FirstFailureWrites: how much
+	// lifetime the spare pool bought under the new definition.
+	ExtensionRatio float64
+	// FirstFailureYears and FinalYears convert both lifetime definitions at
+	// the configured bandwidth.
+	FirstFailureYears float64
+	FinalYears        float64
+	// MeanGapWrites is the mean demand-write gap between successive
+	// retirement events.
+	MeanGapWrites float64
+	// Accel compares the mean retirement gap in the first half of the
+	// events against the second half (first/second). Above 1, failures
+	// arrive faster as the run ages — the attack accelerates once its
+	// traffic concentrates on the spare pool. Zero when the run had fewer
+	// than three gaps to compare.
+	Accel float64
+}
+
+// RunRetirement runs one scheme under one attack with the retirement
+// decorator attached, past the first page failure and on to capacity
+// exhaustion (or the demand cap), and reports how the lifetime extends and
+// how quickly the remaining capacity erodes.
+func RunRetirement(sys SystemConfig, cfg RetirementConfig) (*RetirementResult, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = "TWL_swp"
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		cfg.BandwidthBytesPerSec = Fig6AttackBandwidth
+	}
+	if sys.SparePages == 0 {
+		frac := cfg.SpareFraction
+		if frac == 0 {
+			frac = DefaultSpareFraction
+		}
+		sys = sys.WithSpareFraction(frac)
+	}
+	dev, err := sys.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := lifetimeScheme(cfg.Scheme, dev, sys.Seed+7, sys)
+	if err != nil {
+		return nil, err
+	}
+	s, err := wl.Compose(inner, wl.WithRetirement(wl.RetireConfig{CapacityThreshold: cfg.CapacityThreshold}))
+	if err != nil {
+		return nil, err
+	}
+	pages := sys.Pages
+	if z, ok := s.(interface{ LogicalPages() int }); ok {
+		pages = z.LogicalPages()
+	}
+	src, err := NewAttack(cfg.Mode, pages, sys.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunLifetime(s, src, sim.LifetimeConfig{Metrics: cfg.Metrics, Trace: cfg.Trace})
+	if err != nil {
+		return nil, fmt.Errorf("retirement %s/%v: %w", cfg.Scheme, cfg.Mode, err)
+	}
+	cs, _ := CapacityOf(s)
+
+	ideal := IdealYears(cfg.BandwidthBytesPerSec)
+	out := &RetirementResult{
+		Scheme: cfg.Scheme,
+		Mode:   cfg.Mode,
+		Result: res,
+		Curve:  cs.Curve,
+	}
+	totalEnd := float64(dev.TotalEndurance())
+	if len(cs.Curve) > 0 {
+		out.FirstFailureWrites = cs.Curve[0].DemandWrites
+		out.FirstFailureYears = float64(out.FirstFailureWrites) / totalEnd * ideal
+		out.FinalYears = res.Years(ideal)
+		if out.FirstFailureWrites > 0 {
+			out.ExtensionRatio = float64(res.DemandWrites) / float64(out.FirstFailureWrites)
+		}
+	}
+	if gaps := retirementGaps(cs.Curve); len(gaps) > 0 {
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		out.MeanGapWrites = sum / float64(len(gaps))
+		if len(gaps) >= 3 {
+			first, second := gaps[:len(gaps)/2], gaps[len(gaps)/2:]
+			out.Accel = mean(first) / mean(second)
+		}
+	}
+	return out, nil
+}
+
+// retirementGaps returns the demand-write distances between successive
+// retirement events.
+func retirementGaps(curve []CapacityPoint) []float64 {
+	if len(curve) < 2 {
+		return nil
+	}
+	gaps := make([]float64, len(curve)-1)
+	for i := 1; i < len(curve); i++ {
+		gaps[i-1] = float64(curve[i].DemandWrites - curve[i-1].DemandWrites)
+	}
+	return gaps
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
 // HardwareCost regenerates the Section 5.4 numbers for the full-size 32 GB
 // system: 80 bits per 4 KB page (2.5e-3 storage ratio) and 840 logic gates.
 func HardwareCost() HardwareCostReport {

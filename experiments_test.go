@@ -241,3 +241,95 @@ func TestExperimentsDeterministic(t *testing.T) {
 		t.Fatalf("same seed produced %v then %v", va, vb)
 	}
 }
+
+func TestRunRetirementExtendsLifetime(t *testing.T) {
+	sys := SmallSystem(3)
+	sys.MeanEndurance = 2000 // keep the run-to-exhaustion fast
+	res, err := RunRetirement(sys, DefaultRetirementConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "TWL_swp" || res.Mode != AttackInconsistent {
+		t.Fatalf("unexpected cell %s/%v", res.Scheme, res.Mode)
+	}
+	// The spare pool must carry the run past the first failure...
+	if res.Result.RetiredPages == 0 {
+		t.Fatal("no pages retired")
+	}
+	if res.FirstFailureWrites == 0 || res.Result.DemandWrites <= res.FirstFailureWrites {
+		t.Fatalf("no extension: first failure at %d, final %d",
+			res.FirstFailureWrites, res.Result.DemandWrites)
+	}
+	if res.ExtensionRatio <= 1 {
+		t.Fatalf("ExtensionRatio = %v, want > 1", res.ExtensionRatio)
+	}
+	if res.FinalYears <= res.FirstFailureYears {
+		t.Fatalf("years did not extend: %v -> %v", res.FirstFailureYears, res.FinalYears)
+	}
+	// ...and the run must end by capacity exhaustion, not the demand cap.
+	if res.Result.Capped {
+		t.Fatal("run hit the demand cap instead of exhausting capacity")
+	}
+	if res.Result.FailCause != ErrCapacityExhausted {
+		t.Fatalf("FailCause = %v, want ErrCapacityExhausted", res.Result.FailCause)
+	}
+	// Curve sanity: one point per retirement, monotone in demand writes.
+	if len(res.Curve) != res.Result.RetiredPages {
+		t.Fatalf("curve has %d points, %d pages retired", len(res.Curve), res.Result.RetiredPages)
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].DemandWrites < res.Curve[i-1].DemandWrites {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+	}
+	if res.MeanGapWrites <= 0 {
+		t.Fatalf("MeanGapWrites = %v", res.MeanGapWrites)
+	}
+	// 3% of 512 pages = 15 spares -> plenty of gaps for the accel estimate.
+	if len(res.Curve) >= 4 && res.Accel == 0 {
+		t.Fatal("Accel not computed despite enough retirement events")
+	}
+}
+
+func TestRunRetirementDeterministic(t *testing.T) {
+	sys := SmallSystem(9)
+	sys.MeanEndurance = 2000
+	cfg := DefaultRetirementConfig()
+	a, err := RunRetirement(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRetirement(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result != b.Result || a.ExtensionRatio != b.ExtensionRatio || a.Accel != b.Accel {
+		t.Fatal("same config produced different results")
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatal("curve lengths differ")
+	}
+}
+
+func TestRunRetirementCapacityThreshold(t *testing.T) {
+	sys := SmallSystem(5)
+	sys.MeanEndurance = 2000
+	cfg := DefaultRetirementConfig()
+	cfg.SpareFraction = 0.05
+	cfg.CapacityThreshold = 0.004 // 512 pages -> limit 2 retirements
+	res, err := RunRetirement(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.RetiredPages > 2 {
+		t.Fatalf("retired %d pages, threshold allows 2", res.Result.RetiredPages)
+	}
+	if res.Result.FailCause != ErrCapacityExhausted {
+		t.Fatalf("FailCause = %v, want ErrCapacityExhausted", res.Result.FailCause)
+	}
+	// The threshold, not the pool, ended the run: spares remain.
+	if res.Result.SparesUsed >= res.Result.SparePages {
+		t.Fatalf("spares used %d of %d; expected threshold to bind first",
+			res.Result.SparesUsed, res.Result.SparePages)
+	}
+}

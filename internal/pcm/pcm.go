@@ -23,17 +23,26 @@ import (
 // wear simulation; ranks/banks/lines are carried for the timing and cost
 // models.
 type Geometry struct {
-	Pages    int // number of physical pages
+	Pages    int // number of visible (demand-addressable) physical pages
 	PageSize int // bytes per page (paper: 4096)
 	LineSize int // bytes per line (paper: 128)
 	Ranks    int // paper: 4
 	Banks    int // paper: 32
+	// SparePages reserves extra physical pages beyond Pages for
+	// fault-tolerant page retirement (WoLFRaM-style remapping). Spares are
+	// invisible to wear-leveling schemes — Pages() and EnduranceMap() cover
+	// the visible region only — and absorb traffic only after Remap points
+	// a retired visible page at them.
+	SparePages int
 }
 
 // Validate checks the geometry for internal consistency.
 func (g Geometry) Validate() error {
 	if g.Pages <= 0 {
 		return errors.New("pcm: Pages must be positive")
+	}
+	if g.SparePages < 0 {
+		return errors.New("pcm: SparePages must not be negative")
 	}
 	if g.PageSize <= 0 {
 		return errors.New("pcm: PageSize must be positive")
@@ -47,10 +56,13 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-// Capacity returns the total byte capacity.
+// Capacity returns the visible byte capacity (spares excluded).
 func (g Geometry) Capacity() int64 {
 	return int64(g.Pages) * int64(g.PageSize)
 }
+
+// TotalPages returns the physical page count including the spare region.
+func (g Geometry) TotalPages() int { return g.Pages + g.SparePages }
 
 // LinesPerPage returns the number of lines in a page.
 func (g Geometry) LinesPerPage() int { return g.PageSize / g.LineSize }
@@ -110,10 +122,24 @@ type Device struct {
 	wear         []uint64
 	payload      []uint64
 
-	writes      uint64 // total page writes applied (demand + swap alike)
-	reads       uint64
-	failedPage  int
-	failedCount int
+	writes uint64 // total page writes applied (demand + swap alike)
+	reads  uint64
+
+	// failedLog records every page that reached its endurance, in failure
+	// order; acked counts the prefix a fault-tolerance layer has handled
+	// (retired via Remap). Failed reports the first unhandled entry, so a
+	// device with no such layer behaves exactly as before: the first
+	// failure is permanent and the simulator stops on it.
+	failedLog []int
+	acked     int
+
+	// redirect maps a retired visible page to the spare now serving it
+	// (-1 = not retired); isTarget marks spares currently serving a
+	// retired page. Both are nil until the first Remap, so the pre-failure
+	// hot paths pay one nil check. isTarget is rebuilt from redirect on
+	// Restore.
+	redirect []int
+	isTarget []bool // snap: derived from redirect on Restore
 
 	// slack/slackAt form a conservative watermark over min-remaining
 	// endurance: slack was the exact minimum when the device had written
@@ -129,14 +155,15 @@ type Device struct {
 }
 
 // NewDevice builds a device with the given geometry and per-page endurance
-// map. len(endurance) must equal geom.Pages.
+// map. len(endurance) must equal geom.TotalPages() — visible pages first,
+// then spares.
 func NewDevice(geom Geometry, timing Timing, endurance []uint64) (*Device, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
-	if len(endurance) != geom.Pages {
-		return nil, fmt.Errorf("pcm: endurance map has %d entries, geometry has %d pages",
-			len(endurance), geom.Pages)
+	if len(endurance) != geom.TotalPages() {
+		return nil, fmt.Errorf("pcm: endurance map has %d entries, geometry has %d pages (%d visible + %d spare)",
+			len(endurance), geom.TotalPages(), geom.Pages, geom.SparePages)
 	}
 	for i, e := range endurance {
 		if e == 0 {
@@ -154,9 +181,8 @@ func NewDevice(geom Geometry, timing Timing, endurance []uint64) (*Device, error
 		timing:       timing,
 		endurance:    end,
 		invEndurance: inv,
-		wear:         make([]uint64, geom.Pages),
-		payload:      make([]uint64, geom.Pages),
-		failedPage:   -1,
+		wear:         make([]uint64, geom.TotalPages()),
+		payload:      make([]uint64, geom.TotalPages()),
 	}, nil
 }
 
@@ -166,21 +192,48 @@ func (d *Device) Geometry() Geometry { return d.geom }
 // Timing returns the device timing parameters.
 func (d *Device) Timing() Timing { return d.timing }
 
-// Pages returns the page count.
+// Pages returns the visible page count — the address space wear-leveling
+// schemes manage. Spares are reached only through redirects.
 func (d *Device) Pages() int { return d.geom.Pages }
 
-// Endurance returns the endurance limit of physical page pp.
+// TotalPages returns the physical page count including the spare region.
+func (d *Device) TotalPages() int { return d.geom.TotalPages() }
+
+// SparePages returns the spare-region size.
+func (d *Device) SparePages() int { return d.geom.SparePages }
+
+// resolve maps a page address to the physical cell serving it: retired
+// visible pages forward to their spare. The nil check keeps the hot paths
+// free of redirect cost until the first Remap.
+func (d *Device) resolve(pp int) int {
+	if d.redirect != nil {
+		if t := d.redirect[pp]; t >= 0 {
+			return t
+		}
+	}
+	return pp
+}
+
+// Endurance returns the endurance limit of physical cell pp (raw: a retired
+// page reports its own dead cell, not its spare's).
 func (d *Device) Endurance(pp int) uint64 { return d.endurance[pp] }
 
-// EnduranceMap returns the full endurance map (shared; callers must not
-// mutate it).
-func (d *Device) EnduranceMap() []uint64 { return d.endurance }
+// EnduranceMap returns the visible pages' endurance map (shared; callers
+// must not mutate it). Schemes derive their pairing and ordering tables
+// from it, so the spare region is excluded.
+func (d *Device) EnduranceMap() []uint64 { return d.endurance[:d.geom.Pages] }
 
-// Wear returns the accumulated write count of physical page pp.
+// Wear returns the accumulated write count of physical cell pp (raw, like
+// Endurance, so wear heatmaps show the array's true state — a retired
+// page's cell stays pegged at its endurance).
 func (d *Device) Wear(pp int) uint64 { return d.wear[pp] }
 
 // Remaining returns how many more writes page pp can absorb before failing.
+// Unlike Wear/Endurance it follows redirects: writes to a retired page land
+// on its spare, so the spare's headroom is the answer schemes need for
+// policy and horizon decisions.
 func (d *Device) Remaining(pp int) uint64 {
+	pp = d.resolve(pp)
 	if d.wear[pp] >= d.endurance[pp] {
 		return 0
 	}
@@ -193,12 +246,21 @@ func (d *Device) Remaining(pp int) uint64 {
 // bulk write paths can hoist their per-write failure pre-checks for almost
 // the entire device lifetime.
 //
-// Wear only grows, so the true minimum is monotone non-increasing. Once a
-// recompute has pinned the exact minimum in slack, any query above it is a
-// permanent exact "no" with no rescan; queries at or below it that outlive
-// the decay bound trigger at most one rescan per pages-worth of writes (a
-// conservative "no" in between), so the end-of-life regime costs amortized
-// O(1) and callers run their per-write failure checks until the run ends.
+// Wear only grows and writes land only on live cells, so the true minimum
+// is monotone non-increasing between remaps. Once a recompute has pinned
+// the exact minimum in slack, any query above it is a permanent exact "no"
+// with no rescan; queries at or below it that outlive the decay bound
+// trigger at most one rescan per pages-worth of writes (a conservative
+// "no" in between), so the end-of-life regime costs amortized O(1) and
+// callers run their per-write failure checks until the run ends. Remap
+// changes the live set — a dead cell leaves it, a fresh spare joins — and
+// so invalidates the watermark; the minimum may recover across a remap and
+// the next query rescans.
+//
+// The scan covers the cells writes can actually reach: visible pages that
+// are not retired, plus spares currently serving a retired page. Unused
+// spares join the live set only through a Remap, which resets the
+// watermark.
 func (d *Device) MinRemainingAtLeast(n uint64) bool {
 	since := d.writes - d.slackAt
 	if d.slack >= since && d.slack-since >= n {
@@ -213,7 +275,19 @@ func (d *Device) MinRemainingAtLeast(n uint64) bool {
 		}
 	}
 	min := ^uint64(0)
+	visible := d.geom.Pages
 	for pp, w := range d.wear {
+		if d.redirect != nil {
+			if pp < visible {
+				if d.redirect[pp] >= 0 {
+					continue // retired: writes go to its spare
+				}
+			} else if !d.isTarget[pp] {
+				continue // spare not (or no longer) in service
+			}
+		} else if pp >= visible {
+			break // no retirements yet: spares are unreachable
+		}
 		var r uint64
 		if w < d.endurance[pp] {
 			r = d.endurance[pp] - w
@@ -228,19 +302,17 @@ func (d *Device) MinRemainingAtLeast(n uint64) bool {
 	return min >= n
 }
 
-// Write applies one page write to physical page pp, storing tag as the page
-// payload. It returns true if this write wore the page out (wear reached
-// endurance). Writes to an already-failed page keep counting wear; the
-// simulator decides when to stop.
+// Write applies one page write to physical page pp (following redirects),
+// storing tag as the page payload. It returns true if this write wore the
+// cell out (wear reached endurance). Writes to an already-failed page keep
+// counting wear; the simulator decides when to stop.
 func (d *Device) Write(pp int, tag uint64) bool {
+	pp = d.resolve(pp)
 	d.wear[pp]++
 	d.payload[pp] = tag
 	d.writes++
 	if d.wear[pp] == d.endurance[pp] {
-		d.failedCount++
-		if d.failedPage < 0 {
-			d.failedPage = pp
-		}
+		d.failedLog = append(d.failedLog, pp)
 		return true
 	}
 	return d.wear[pp] > d.endurance[pp]
@@ -260,15 +332,13 @@ func (d *Device) WriteN(pp int, tag uint64, n int) int {
 	if n <= 0 {
 		return 0
 	}
+	pp = d.resolve(pp)
 	applied := uint64(n)
 	w, e := d.wear[pp], d.endurance[pp]
 	if w < e && w+applied >= e {
 		// Crosses the endurance boundary: stop at the failing write.
 		applied = e - w
-		d.failedCount++
-		if d.failedPage < 0 {
-			d.failedPage = pp
-		}
+		d.failedLog = append(d.failedLog, pp)
 	}
 	d.wear[pp] = w + applied
 	d.payload[pp] = tag + applied - 1
@@ -284,6 +354,9 @@ func (d *Device) WriteRange(pp0 int, tag uint64, n int) int {
 	if n <= 0 {
 		return 0
 	}
+	if d.redirect != nil {
+		return d.writeRangeSlow(pp0, tag, n)
+	}
 	wear := d.wear[pp0 : pp0+n]
 	end := d.endurance[pp0 : pp0+n][:n]
 	pay := d.payload[pp0 : pp0+n][:n]
@@ -293,10 +366,27 @@ func (d *Device) WriteRange(pp0 int, tag uint64, n int) int {
 		pay[i] = tag + uint64(i)
 		if w >= end[i] {
 			if w == end[i] {
-				d.failedCount++
-				if d.failedPage < 0 {
-					d.failedPage = pp0 + i
-				}
+				d.failedLog = append(d.failedLog, pp0+i)
+			}
+			d.writes += uint64(i + 1)
+			return i + 1
+		}
+	}
+	d.writes += uint64(n)
+	return n
+}
+
+// writeRangeSlow is WriteRange with per-page redirect resolution, used once
+// any page has been retired.
+func (d *Device) writeRangeSlow(pp0 int, tag uint64, n int) int {
+	for i := 0; i < n; i++ {
+		pp := d.resolve(pp0 + i)
+		w := d.wear[pp] + 1
+		d.wear[pp] = w
+		d.payload[pp] = tag + uint64(i)
+		if w >= d.endurance[pp] {
+			if w == d.endurance[pp] {
+				d.failedLog = append(d.failedLog, pp)
 			}
 			d.writes += uint64(i + 1)
 			return i + 1
@@ -318,16 +408,17 @@ func (d *Device) WriteSeq(pps []int, tag uint64) int {
 	wear := d.wear
 	end := d.endurance[:len(wear)]
 	pay := d.payload[:len(wear)]
+	redirected := d.redirect != nil
 	for i, pp := range pps {
+		if redirected {
+			pp = d.resolve(pp)
+		}
 		w := wear[pp] + 1
 		wear[pp] = w
 		pay[pp] = tag + uint64(i)
 		if w >= end[pp] {
 			if w == end[pp] {
-				d.failedCount++
-				if d.failedPage < 0 {
-					d.failedPage = pp
-				}
+				d.failedLog = append(d.failedLog, pp)
 			}
 			d.writes += uint64(i + 1)
 			return i + 1
@@ -337,24 +428,97 @@ func (d *Device) WriteSeq(pps []int, tag uint64) int {
 	return len(pps)
 }
 
-// Read reads the payload of physical page pp.
+// Read reads the payload of physical page pp (following redirects).
 func (d *Device) Read(pp int) uint64 {
 	d.reads++
-	return d.payload[pp]
+	return d.payload[d.resolve(pp)]
 }
 
 // Peek returns the payload without counting a device read (used by schemes
 // when migrating pages: the migration read is part of the swap operation and
 // its latency is charged separately).
-func (d *Device) Peek(pp int) uint64 { return d.payload[pp] }
+func (d *Device) Peek(pp int) uint64 { return d.payload[d.resolve(pp)] }
 
-// Failed reports whether any page has worn out, and the first such page.
+// Failed reports the first failure no fault-tolerance layer has handled.
+// Without such a layer (no AckFailures calls) that is simply the first page
+// to wear out, exactly as before spares existed; with one, failures the
+// layer retired and acknowledged are invisible here and the run continues.
 func (d *Device) Failed() (page int, failed bool) {
-	return d.failedPage, d.failedPage >= 0
+	if d.acked < len(d.failedLog) {
+		return d.failedLog[d.acked], true
+	}
+	return -1, false
 }
 
-// FailedPages returns how many pages have reached their endurance.
-func (d *Device) FailedPages() int { return d.failedCount }
+// FailedPages returns how many cells have reached their endurance,
+// including retired ones and worn-out spares.
+func (d *Device) FailedPages() int { return len(d.failedLog) }
+
+// FailureAt returns the i-th failed cell (0 <= i < FailedPages()), in
+// failure order. A fault-tolerance layer drains the log through this.
+func (d *Device) FailureAt(i int) int { return d.failedLog[i] }
+
+// AckFailures marks the first n logged failures as handled by a
+// fault-tolerance layer; Failed then reports the (n+1)-th failure, if any.
+// n must not shrink or exceed the log — a misbehaving layer is a
+// programming error, not a device state.
+func (d *Device) AckFailures(n int) {
+	if n < d.acked || n > len(d.failedLog) {
+		panic(fmt.Sprintf("pcm: AckFailures(%d) outside [%d,%d]", n, d.acked, len(d.failedLog)))
+	}
+	d.acked = n
+}
+
+// Remap retires the visible page from, pointing it at the spare page to:
+// subsequent accesses to from resolve to to, and to inherits from's current
+// payload. The copy models the retirement migration; it is a metadata
+// operation on the simulator's books — no wear, no write count — so scheme
+// invariants over TotalWrites hold unchanged across a retirement (the
+// single migration write is negligible against the millions a spare
+// absorbs).
+//
+// A retired page may be remapped again (its spare wore out and the layer
+// moves it to a fresh spare); the exhausted spare leaves service. Remap
+// invalidates the min-remaining watermark: the live cell set changed, so
+// the minimum may recover.
+func (d *Device) Remap(from, to int) error {
+	visible := d.geom.Pages
+	if from < 0 || from >= visible {
+		return fmt.Errorf("pcm: Remap from %d outside visible range [0,%d)", from, visible)
+	}
+	if to < visible || to >= d.geom.TotalPages() {
+		return fmt.Errorf("pcm: Remap to %d outside spare range [%d,%d)", to, visible, d.geom.TotalPages())
+	}
+	if d.redirect == nil {
+		d.redirect = make([]int, d.geom.TotalPages())
+		for i := range d.redirect {
+			d.redirect[i] = -1
+		}
+		d.isTarget = make([]bool, d.geom.TotalPages())
+	}
+	if d.isTarget[to] {
+		return fmt.Errorf("pcm: Remap target %d already serves a retired page", to)
+	}
+	src := d.resolve(from)
+	if old := d.redirect[from]; old >= 0 {
+		d.isTarget[old] = false
+	}
+	d.payload[to] = d.payload[src]
+	d.redirect[from] = to
+	d.isTarget[to] = true
+	d.slack = 0
+	d.slackAt = d.writes
+	d.slackValid = false
+	return nil
+}
+
+// Redirect reports the spare serving visible page pp, if it was retired.
+func (d *Device) Redirect(pp int) (spare int, retired bool) {
+	if d.redirect == nil || d.redirect[pp] < 0 {
+		return -1, false
+	}
+	return d.redirect[pp], true
+}
 
 // TotalWrites returns the number of page writes applied to the array.
 func (d *Device) TotalWrites() uint64 { return d.writes }
@@ -362,9 +526,9 @@ func (d *Device) TotalWrites() uint64 { return d.writes }
 // TotalReads returns the number of page reads served.
 func (d *Device) TotalReads() uint64 { return d.reads }
 
-// TotalEndurance returns the sum of all pages' endurance — the number of
-// page writes a perfect wear-leveler could absorb before the first failure
-// wave. The ideal-lifetime calculations use this.
+// TotalEndurance returns the sum of all cells' endurance, spares included —
+// the number of page writes a perfect wear-leveler with perfect retirement
+// could absorb. The ideal-lifetime calculations use this.
 func (d *Device) TotalEndurance() uint64 {
 	var sum uint64
 	for _, e := range d.endurance {
@@ -404,8 +568,8 @@ func (d *Device) Summary() WearSummary {
 			s.MaxFractionPage = pp
 		}
 	}
-	if d.geom.Pages > 0 {
-		s.MeanFraction = fracSum / float64(d.geom.Pages)
+	if len(d.wear) > 0 {
+		s.MeanFraction = fracSum / float64(len(d.wear))
 	}
 	return s
 }
@@ -428,7 +592,8 @@ func (d *Device) WearHistogram(buckets int) []int {
 	return h
 }
 
-// Reset clears wear, payloads and failure state but keeps the endurance map.
+// Reset clears wear, payloads, failure and retirement state but keeps the
+// endurance map.
 func (d *Device) Reset() {
 	for i := range d.wear {
 		d.wear[i] = 0
@@ -436,8 +601,10 @@ func (d *Device) Reset() {
 	}
 	d.writes = 0
 	d.reads = 0
-	d.failedPage = -1
-	d.failedCount = 0
+	d.failedLog = nil
+	d.acked = 0
+	d.redirect = nil
+	d.isTarget = nil
 	d.slack = 0
 	d.slackAt = 0
 	d.slackValid = false

@@ -1,15 +1,17 @@
 package pcm
 
 import (
+	"fmt"
 	"io"
 
 	"twl/internal/snap"
 )
 
 // Snapshot serializes the device's mutable state: wear counters, payload
-// tags, traffic totals, failure state and the min-remaining watermark.
-// Geometry, timing and the endurance map are construction inputs and are
-// not persisted — Restore requires a device built with the same ones.
+// tags, traffic totals, the failure log with its handled prefix, the
+// retirement redirect table and the min-remaining watermark. Geometry,
+// timing and the endurance map are construction inputs and are not
+// persisted — Restore requires a device built with the same ones.
 //
 // The watermark (slack/slackAt/slackValid) must be persisted even though it
 // is only a cache: MinRemainingAtLeast's conservative-"no" path depends on
@@ -21,8 +23,12 @@ func (d *Device) Snapshot(w io.Writer) error {
 	sw.U64s(d.payload)
 	sw.U64(d.writes)
 	sw.U64(d.reads)
-	sw.Int(d.failedPage)
-	sw.Int(d.failedCount)
+	sw.Ints(d.failedLog)
+	sw.Int(d.acked)
+	sw.Bool(d.redirect != nil)
+	if d.redirect != nil {
+		sw.Ints(d.redirect)
+	}
 	sw.U64(d.slack)
 	sw.U64(d.slackAt)
 	sw.Bool(d.slackValid)
@@ -30,15 +36,37 @@ func (d *Device) Snapshot(w io.Writer) error {
 }
 
 // Restore loads state written by Snapshot into a device with identical
-// geometry (the wear/payload lengths are validated against it).
+// geometry (the wear/payload lengths are validated against it). The
+// isTarget index is derived from the restored redirect table rather than
+// persisted.
 func (d *Device) Restore(r io.Reader) error {
 	sr := snap.NewReader(r)
 	sr.U64sInto(d.wear)
 	sr.U64sInto(d.payload)
 	d.writes = sr.U64()
 	d.reads = sr.U64()
-	d.failedPage = sr.Int()
-	d.failedCount = sr.Int()
+	d.failedLog = sr.IntSlice(len(d.wear))
+	d.acked = sr.Int()
+	d.redirect = nil
+	d.isTarget = nil
+	if sr.Bool() {
+		redirect := make([]int, d.geom.TotalPages())
+		sr.IntsInto(redirect)
+		isTarget := make([]bool, len(redirect))
+		if sr.Err() == nil {
+			for pp, t := range redirect {
+				if t < 0 {
+					continue
+				}
+				if t < d.geom.Pages || t >= len(redirect) {
+					return fmt.Errorf("pcm: checkpoint redirect %d -> %d outside spare range", pp, t)
+				}
+				isTarget[t] = true
+			}
+			d.redirect = redirect
+			d.isTarget = isTarget
+		}
+	}
 	d.slack = sr.U64()
 	d.slackAt = sr.U64()
 	d.slackValid = sr.Bool()

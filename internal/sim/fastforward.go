@@ -17,6 +17,7 @@ type lifetimeState struct {
 	dev        *pcm.Device
 	timing     pcm.Timing
 	checker    wl.Checker
+	capRep     wl.CapacityReporter
 	checkEvery uint64
 	metrics    *lifetimeMetrics
 	tracer     *obs.Tracer
@@ -267,7 +268,7 @@ func (l *lifetimeState) accountBulk(cost wl.Cost, absorbed int) {
 		l.ffRunLen.Observe(float64(absorbed))
 	}
 	if l.traceEvery > 0 && l.demand%l.traceEvery == 0 {
-		emitProgress(l.tracer, l.s, l.demand, l.blocked, l.cycles)
+		l.emitProgress()
 	}
 }
 
@@ -289,7 +290,7 @@ func (l *lifetimeState) writeOne(addr int) error {
 		l.metrics.latency.Observe(float64(c))
 	}
 	if l.traceEvery > 0 && l.demand%l.traceEvery == 0 {
-		emitProgress(l.tracer, l.s, l.demand, l.blocked, l.cycles)
+		l.emitProgress()
 	}
 	return l.checkAt()
 }

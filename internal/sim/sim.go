@@ -233,8 +233,9 @@ func newLifetimeMetrics(reg *obs.Registry) *lifetimeMetrics {
 	}
 }
 
-// finishLifetimeMetrics records the end-of-run aggregates.
-func finishLifetimeMetrics(reg *obs.Registry, res LifetimeResult) {
+// finishLifetimeMetrics records the end-of-run aggregates. Runs under a
+// retirement decorator additionally export the twl_retire_* series.
+func finishLifetimeMetrics(reg *obs.Registry, res LifetimeResult, retiring bool) {
 	reg.Help("twl_sim_swaps_total", "internal swap operations performed by the scheme")
 	reg.Help("twl_sim_swap_writes_total", "device writes caused by internal swaps")
 	reg.Help("twl_sim_device_writes_total", "physical page writes applied to the array")
@@ -243,27 +244,54 @@ func finishLifetimeMetrics(reg *obs.Registry, res LifetimeResult) {
 	reg.Counter("twl_sim_swap_writes_total").Add(res.SwapWrites)
 	reg.Counter("twl_sim_device_writes_total").Add(res.DeviceWrites)
 	reg.Gauge("twl_sim_normalized_lifetime").Set(res.Normalized)
+	if !retiring {
+		return
+	}
+	reg.Help("twl_retire_retired_pages", "visible pages retired to the spare pool")
+	reg.Help("twl_retire_spares_used", "spare pages consumed (retirements plus spare replacements)")
+	reg.Help("twl_retire_spare_pages", "size of the spare pool")
+	reg.Help("twl_retire_capacity_exhausted", "1 if the run ended by spare exhaustion or the capacity threshold")
+	reg.Gauge("twl_retire_retired_pages").Set(float64(res.RetiredPages))
+	reg.Gauge("twl_retire_spares_used").Set(float64(res.SparesUsed))
+	reg.Gauge("twl_retire_spare_pages").Set(float64(res.SparePages))
+	exhausted := 0.0
+	if res.FailCause != nil {
+		exhausted = 1
+	}
+	reg.Gauge("twl_retire_capacity_exhausted").Set(exhausted)
 }
 
 // emitProgress writes one tracer progress event with current counters and a
-// wear snapshot.
-func emitProgress(tr *obs.Tracer, s wl.Scheme, demand, blocked uint64, cycles int64) {
-	st := s.Stats()
-	sum := s.Device().Summary()
-	tr.Emit("progress",
-		obs.F("demand_writes", demand),
+// wear snapshot. Runs under a retirement decorator also report the retired
+// and spare counts — the fast path clamps chunks at the trace cadence, so
+// both paths observe identical retirement state at each event.
+func (l *lifetimeState) emitProgress() {
+	st := l.s.Stats()
+	sum := l.dev.Summary()
+	fields := []obs.Field{
+		obs.F("demand_writes", l.demand),
 		obs.F("demand_reads", st.DemandReads),
 		obs.F("swaps", st.Swaps),
 		obs.F("swap_writes", st.SwapWrites),
-		obs.F("blocked", blocked),
-		obs.F("cycles", cycles),
+		obs.F("blocked", l.blocked),
+		obs.F("cycles", l.cycles),
 		obs.F("max_wear_fraction", sum.MaxFraction),
 		obs.F("mean_wear_fraction", sum.MeanFraction),
-		obs.F("wear_hist", s.Device().WearHistogram(WearHistogramBuckets)),
-	)
+		obs.F("wear_hist", l.dev.WearHistogram(WearHistogramBuckets)),
+	}
+	if l.capRep != nil {
+		cs := l.capRep.CapacityStats()
+		fields = append(fields,
+			obs.F("retired", cs.Retired),
+			obs.F("spares_used", cs.SparesUsed),
+		)
+	}
+	l.tracer.Emit("progress", fields...)
 }
 
-// LifetimeResult summarizes a lifetime run.
+// LifetimeResult summarizes a lifetime run. It stays comparable with ==
+// (the differential and checkpoint tests rely on that), so the capacity
+// curve lives behind wl.AsCapacityReporter on the scheme, not here.
 type LifetimeResult struct {
 	Scheme       string
 	DemandWrites uint64 // demand writes served before first failure
@@ -271,9 +299,25 @@ type LifetimeResult struct {
 	DeviceWrites uint64
 	SwapWrites   uint64
 	Swaps        uint64
-	FailedPage   int  // physical page that died (-1 if capped)
-	Capped       bool // run hit MaxDemandWrites without a failure
-	// Normalized is DemandWrites / Σ endurance — the Figure 8 metric.
+	// FailedPage is the physical page whose death ended the run (-1 if
+	// capped). Under a retirement decorator this is the first failure the
+	// spare pool could not cover, and may be a spare index (>= Pages) when
+	// an in-service spare died after the pool emptied.
+	FailedPage int
+	Capped     bool // run hit MaxDemandWrites without a failure
+	// FailCause refines FailedPage for runs under a retirement decorator:
+	// wl.ErrCapacityExhausted when the run ended because the spare pool
+	// emptied or the retired fraction crossed the capacity threshold, nil
+	// for a plain first-page death (no decorator) or a capped run.
+	FailCause error
+	// RetiredPages, SparesUsed and SparePages mirror the decorator's
+	// wl.CapacityStats at run end; all zero when no decorator is attached.
+	RetiredPages int
+	SparesUsed   int
+	SparePages   int
+	// Normalized is DemandWrites / Σ endurance — the Figure 8 metric. The
+	// denominator includes spare-pool endurance, so retirement runs are
+	// judged against the capacity they actually had.
 	Normalized float64
 	// Cycles is the total request latency accumulated over the run.
 	Cycles int64
@@ -299,6 +343,7 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	}
 	timing := dev.Timing()
 	checker, _ := s.(wl.Checker)
+	capRep, _ := wl.AsCapacityReporter(s)
 
 	if cfg.Checkpoint != nil {
 		if err := validateCheckpointConfig(s, src, cfg.Checkpoint); err != nil {
@@ -320,6 +365,7 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 		dev:        dev,
 		timing:     timing,
 		checker:    checker,
+		capRep:     capRep,
 		checkEvery: cfg.CheckEvery,
 		metrics:    metrics,
 		reg:        cfg.Metrics,
@@ -395,11 +441,20 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	res.DeviceWrites = dev.TotalWrites()
 	res.Normalized = float64(st.DemandWrites) / float64(totalEnd)
 	res.Cycles = cycles
+	if capRep != nil {
+		cs := capRep.CapacityStats()
+		res.RetiredPages = cs.Retired
+		res.SparesUsed = cs.SparesUsed
+		res.SparePages = cs.SparePages
+		if !res.Capped && cs.Exhausted {
+			res.FailCause = wl.ErrCapacityExhausted
+		}
+	}
 	if cfg.Metrics != nil {
-		finishLifetimeMetrics(cfg.Metrics, res)
+		finishLifetimeMetrics(cfg.Metrics, res, capRep != nil)
 	}
 	if cfg.Trace != nil {
-		cfg.Trace.Emit("end",
+		fields := []obs.Field{
 			obs.F("scheme", res.Scheme),
 			obs.F("demand_writes", res.DemandWrites),
 			obs.F("blocked", blocked),
@@ -409,7 +464,16 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 			obs.F("normalized", res.Normalized),
 			obs.F("cycles", res.Cycles),
 			obs.F("wear_hist", dev.WearHistogram(WearHistogramBuckets)),
-		)
+		}
+		if capRep != nil {
+			fields = append(fields,
+				obs.F("retired", res.RetiredPages),
+				obs.F("spares_used", res.SparesUsed),
+				obs.F("spare_pages", res.SparePages),
+				obs.F("capacity_exhausted", res.FailCause != nil),
+			)
+		}
+		cfg.Trace.Emit("end", fields...)
 	}
 	return res, nil
 }

@@ -20,6 +20,11 @@ var (
 	ErrDuplicateScheme = errors.New("scheme already registered")
 	// ErrBadConfig reports an invalid scheme or system configuration.
 	ErrBadConfig = errors.New("invalid configuration")
+	// ErrCapacityExhausted reports that a lifetime run ended because the
+	// fault-tolerance layer ran out of capacity — the spare pool was
+	// exhausted or the retirement threshold was crossed — rather than at
+	// the device's first page failure. LifetimeResult.FailCause carries it.
+	ErrCapacityExhausted = errors.New("spare capacity exhausted")
 )
 
 // Registration describes one scheme in a Registry.
@@ -134,6 +139,9 @@ func (r *Registry) Registrations() []Registration {
 // New builds the named scheme over dev. An unrecognized name wraps
 // ErrUnknownScheme; factory failures are wrapped with the canonical scheme
 // name.
+//
+// Deprecated: use Build, which additionally accepts functional options for
+// decorator composition. New is Build with no options.
 func (r *Registry) New(name string, dev *pcm.Device, seed uint64) (Scheme, error) {
 	reg, ok := r.Lookup(name)
 	if !ok {
@@ -158,6 +166,9 @@ var Default = NewRegistry()
 func Register(reg Registration) { Default.MustAdd(reg) }
 
 // NewByName builds a scheme from the Default registry.
+//
+// Deprecated: use Build, which additionally accepts functional options for
+// decorator composition. NewByName is Build with no options.
 func NewByName(name string, dev *pcm.Device, seed uint64) (Scheme, error) {
 	return Default.New(name, dev, seed)
 }

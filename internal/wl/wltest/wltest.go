@@ -24,9 +24,17 @@ func NewDevice(tb testing.TB, pages int, seed uint64) *pcm.Device {
 // NewDeviceEndurance builds a test device with the given mean endurance.
 func NewDeviceEndurance(tb testing.TB, pages int, mean float64, seed uint64) *pcm.Device {
 	tb.Helper()
-	geom := pcm.Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 4, Banks: 32}
+	return NewSpareDevice(tb, pages, 0, mean, seed)
+}
+
+// NewSpareDevice builds a test device with spares spare pages behind the
+// visible array, drawing one Gaussian endurance map across both regions —
+// the spare pool is fabbed from the same process as the rest of the die.
+func NewSpareDevice(tb testing.TB, pages, spares int, mean float64, seed uint64) *pcm.Device {
+	tb.Helper()
+	geom := pcm.Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 4, Banks: 32, SparePages: spares}
 	end, err := pv.Generate(pv.Config{
-		Pages: pages, Mean: mean, Sigma: 0.11 * mean, Model: pv.Gaussian, Seed: seed,
+		Pages: pages + spares, Mean: mean, Sigma: 0.11 * mean, Model: pv.Gaussian, Seed: seed,
 	})
 	if err != nil {
 		tb.Fatal(err)

@@ -41,6 +41,10 @@ import (
 	_ "twl/internal/wl/rbsg"
 	_ "twl/internal/wl/startgap"
 	_ "twl/internal/wl/wrl"
+
+	// The retirement decorator registers its factory in init, enabling
+	// WithRetirement for every facade user.
+	_ "twl/internal/wl/retire"
 )
 
 // Re-exported core types, so API users can name them without reaching into
@@ -71,6 +75,16 @@ type (
 	TWLConfig = core.Config
 	// TWLEngine is the TWL scheme with its full API (PartnerOf, Config, …).
 	TWLEngine = core.Engine
+	// SchemeOption customizes NewScheme's decorator stack (WithRetirement,
+	// WithInstrumentation); options apply first-innermost.
+	SchemeOption = wl.Option
+	// RetireConfig parameterizes the page-retirement decorator.
+	RetireConfig = wl.RetireConfig
+	// CapacityStats reports a retirement decorator's spare-pool usage and
+	// its capacity-vs-writes curve.
+	CapacityStats = wl.CapacityStats
+	// CapacityPoint is one retirement event on the capacity curve.
+	CapacityPoint = wl.CapacityPoint
 )
 
 // Attack modes (Figure 6).
@@ -102,6 +116,11 @@ type SystemConfig struct {
 	// SigmaFraction is the endurance standard deviation as a fraction of
 	// the mean (Section 5.1: 0.11).
 	SigmaFraction float64
+	// SparePages sizes the spare pool behind the visible array (0 = none).
+	// Spares are invisible to schemes; they only absorb traffic once the
+	// retirement decorator (WithRetirement) remaps a failed page onto one.
+	// Typical provisioning is 2–5% of Pages.
+	SparePages int
 	// Seed drives the endurance map and every scheme RNG derived from it.
 	Seed uint64
 }
@@ -150,7 +169,22 @@ func (c SystemConfig) Validate() error {
 	if c.SigmaFraction < 0 || c.SigmaFraction >= 1 {
 		return fmt.Errorf("twl: %w: SigmaFraction must be in [0, 1), got %g", ErrBadConfig, c.SigmaFraction)
 	}
+	if c.SparePages < 0 {
+		return fmt.Errorf("twl: %w: SparePages must be non-negative, got %d", ErrBadConfig, c.SparePages)
+	}
 	return nil
+}
+
+// WithSpareFraction returns a copy of the configuration provisioning a spare
+// pool of the given fraction of the visible pages (at least one page when
+// the fraction is positive).
+func (c SystemConfig) WithSpareFraction(frac float64) SystemConfig {
+	spares := int(frac * float64(c.Pages))
+	if frac > 0 && spares == 0 {
+		spares = 1
+	}
+	c.SparePages = spares
+	return c
 }
 
 // NewDevice builds the PCM device for the configuration.
@@ -158,8 +192,10 @@ func (c SystemConfig) NewDevice() (*Device, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	// One endurance map across visible and spare pages: the spare pool is
+	// fabbed from the same process as the rest of the die.
 	end, err := pv.Generate(pv.Config{
-		Pages: c.Pages,
+		Pages: c.Pages + c.SparePages,
 		Mean:  c.MeanEndurance,
 		Sigma: c.SigmaFraction * c.MeanEndurance,
 		Model: pv.Gaussian,
@@ -169,11 +205,12 @@ func (c SystemConfig) NewDevice() (*Device, error) {
 		return nil, err
 	}
 	geom := pcm.Geometry{
-		Pages:    c.Pages,
-		PageSize: c.PageSize,
-		LineSize: 128,
-		Ranks:    4,
-		Banks:    32,
+		Pages:      c.Pages,
+		PageSize:   c.PageSize,
+		LineSize:   128,
+		Ranks:      4,
+		Banks:      32,
+		SparePages: c.SparePages,
 	}
 	return pcm.NewDevice(geom, pcm.DefaultTiming(), end)
 }
@@ -187,6 +224,11 @@ var (
 	// ErrBadConfig is wrapped by every constructor and Validate method when
 	// a configuration value is out of range.
 	ErrBadConfig = wl.ErrBadConfig
+	// ErrCapacityExhausted is carried by LifetimeResult.FailCause when a run
+	// under the retirement decorator ended because the spare pool emptied or
+	// the capacity threshold was crossed, rather than at a bare first
+	// failure.
+	ErrCapacityExhausted = wl.ErrCapacityExhausted
 )
 
 // SchemeNames lists the scheme identifiers accepted by NewScheme, in the
@@ -220,8 +262,37 @@ func SchemeDocs() []string {
 // unrecognized name returns an error wrapping ErrUnknownScheme; a scheme
 // rejecting its derived configuration returns an error wrapping
 // ErrBadConfig.
-func NewScheme(name string, dev *Device, seed uint64) (Scheme, error) {
-	return wl.NewByName(name, dev, seed)
+//
+// Options stack decorators over the scheme, first option innermost:
+//
+//	s, err := twl.NewScheme("TWL_swp", dev, seed,
+//		twl.WithRetirement(twl.RetireConfig{}),
+//		twl.WithInstrumentation(reg))
+//
+// The decorated scheme keeps exactly the optional interfaces the bare one
+// implements, so fast-forward and checkpointing work unchanged.
+func NewScheme(name string, dev *Device, seed uint64, opts ...SchemeOption) (Scheme, error) {
+	return wl.Build(name, dev, seed, opts...)
+}
+
+// WithRetirement decorates the scheme with spare-pool page retirement: a
+// page failure is remapped onto a spare (the device must be built with
+// SystemConfig.SparePages > 0) and the run continues until the pool empties
+// or cfg.CapacityThreshold of the visible pages have been retired.
+func WithRetirement(cfg RetireConfig) SchemeOption { return wl.WithRetirement(cfg) }
+
+// WithInstrumentation decorates the scheme with per-request metrics in reg
+// (see Instrument).
+func WithInstrumentation(reg *MetricsRegistry) SchemeOption { return wl.WithInstrumentation(reg) }
+
+// CapacityOf reports the retirement decorator's spare-pool state anywhere in
+// s's decorator stack; ok is false when s has no retirement layer.
+func CapacityOf(s Scheme) (CapacityStats, bool) {
+	rep, ok := wl.AsCapacityReporter(s)
+	if !ok {
+		return CapacityStats{}, false
+	}
+	return rep.CapacityStats(), true
 }
 
 // NewTWL constructs a TWL engine with an explicit configuration, for users
@@ -302,8 +373,9 @@ func MetricLabel(key, value string) obs.Label { return obs.L(key, value) }
 func NewRunTracer(w io.Writer, every uint64) *Tracer { return obs.NewTracer(w, every) }
 
 // Instrument wraps a scheme so every Write/Read updates per-scheme request,
-// blocked and latency series in reg. The wrapper preserves the invariant
-// checker interface when the underlying scheme has one.
+// blocked and latency series in reg. The wrapper preserves every optional
+// interface the underlying scheme implements (invariant checking, snapshot,
+// bulk fast paths), so instrumented runs still fast-forward and checkpoint.
 func Instrument(s Scheme, reg *MetricsRegistry) Scheme { return wl.Instrument(s, reg) }
 
 // RunLifetime drives src through s until the first page failure and returns
