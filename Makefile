@@ -31,14 +31,15 @@ benchsmoke:
 	go test ./internal/sim -run '^$$' -bench FastForward -benchtime=1x
 
 # Hot-loop benchmark: full lifetime runs through the fast-forward path vs
-# the per-write path over every registered scheme, written to BENCH_PR4.json
-# (ns/write and speedup). The benchcmp step then diffs the per-write path
-# against the committed PR 2 baseline; it reports regressions but is
-# non-fatal here (wall-clock noise on a loaded machine is not a failure —
-# the committed trajectory is what reviews judge).
+# the per-write path over every registered scheme × attack (repeat, scan and
+# the paper's inconsistent attack), written to BENCH_PR7.json (ns/write and
+# speedup). The benchcmp step then diffs both paths against the committed
+# PR 4 baseline; it reports regressions but is non-fatal here (wall-clock
+# noise across machines is not a failure — the committed trajectory is what
+# reviews judge).
 bench:
-	go run ./cmd/benchff -out BENCH_PR4.json
-	-go run ./cmd/benchcmp BENCH_PR2.json BENCH_PR4.json
+	go run ./cmd/benchff -out BENCH_PR7.json
+	-go run ./cmd/benchcmp BENCH_PR4.json BENCH_PR7.json
 
 # Short fuzz pass over every fuzz target (CI runs this; locally useful
 # before touching the trace readers, the Feistel network or the remap table).
@@ -50,4 +51,6 @@ fuzzsmoke:
 	go test ./internal/rng -run '^$$' -fuzz FuzzFeistelBijection -fuzztime 10s
 	go test ./internal/tables -run '^$$' -fuzz FuzzRemapBijection -fuzztime 10s
 	go test ./internal/core -run '^$$' -fuzz FuzzEventHorizon -fuzztime 10s
+	go test ./internal/wl/od3p -run '^$$' -fuzz FuzzEventHorizonOD3P -fuzztime 10s
+	go test ./internal/wl/rbsg -run '^$$' -fuzz FuzzEventHorizonRBSG -fuzztime 10s
 	go test ./internal/sim -run '^$$' -fuzz FuzzCheckpointResume -fuzztime 10s

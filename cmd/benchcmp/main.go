@@ -1,11 +1,15 @@
 // Command benchcmp compares two benchff reports, joined on scheme × attack,
-// and flags per-write-path regressions: configurations whose
+// and flags regressions on both simulation paths: configurations whose
 // perwrite_ns_per_write grew by more than the threshold between the old and
-// new report. The per-write path is the simulator's correctness baseline —
-// every scheme runs it, and the differential tests diff against it — so a
-// slowdown there taxes every benchmark and every long differential run.
+// new report, and configurations that took the fast path in both reports
+// whose fast_ns_per_write grew the same way. The per-write path is the
+// simulator's correctness baseline — every scheme runs it, and the
+// differential tests diff against it — so a slowdown there taxes every
+// benchmark and every long differential run; the fast path is the product
+// being grown, so a slowdown there silently erodes the speedups the
+// trajectory records.
 //
-//	go run ./cmd/benchcmp BENCH_PR2.json BENCH_PR4.json
+//	go run ./cmd/benchcmp BENCH_PR4.json BENCH_PR7.json
 //
 // Exits 1 when any joined configuration regressed beyond -threshold, 2 on
 // usage or read errors. Configurations present in only one report are
@@ -95,6 +99,19 @@ func main() {
 		}
 		fmt.Printf("%-20s perwrite %8.2f -> %8.2f ns/write  (%+6.1f%%)%s\n",
 			k, o.PerWriteNs, n.PerWriteNs, delta*100, mark)
+		// The fast path is only comparable when both reports actually took
+		// it; a per-write-fallback cell gaining a fast path is growth, not a
+		// regression.
+		if o.FastPath && n.FastPath {
+			fdelta := n.FastNs/o.FastNs - 1
+			fmark := ""
+			if fdelta > *threshold {
+				fmark = "  REGRESSED"
+				regressed = true
+			}
+			fmt.Printf("%-20s fast     %8.2f -> %8.2f ns/write  (%+6.1f%%)%s\n",
+				k, o.FastNs, n.FastNs, fdelta*100, fmark)
+		}
 	}
 	newOnly := 0
 	for k := range newRes {
@@ -110,8 +127,8 @@ func main() {
 		os.Exit(2)
 	}
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchcmp: per-write path regressed beyond %.0f%% on at least one configuration\n", *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchcmp: a simulation path regressed beyond %.0f%% on at least one configuration\n", *threshold*100)
 		os.Exit(1)
 	}
-	fmt.Printf("per-write path within %.0f%% on all %d common configurations\n", *threshold*100, joined)
+	fmt.Printf("both paths within %.0f%% on all %d common configurations\n", *threshold*100, joined)
 }

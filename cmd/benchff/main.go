@@ -10,11 +10,16 @@
 // fails if a scheme implementing the fast-path interfaces is excluded from
 // the grid — the benchmark trajectory must not silently lose coverage.
 //
-// The output JSON (BENCH_PR4.json in the repo root) extends the repo's
-// benchmark trajectory (BENCH_PR2.json holds the deterministic-scheme
-// baseline):
+// The grid covers the repeat and scan attacks plus the paper's inconsistent
+// attack, whose feedback-driven stream is bulk-capable between detected-swap
+// events (the random attack has no run structure to absorb, so it stays off
+// the grid; fast_path_coverage still reports it).
 //
-//	go run ./cmd/benchff -out BENCH_PR4.json
+// The output JSON (BENCH_PR7.json in the repo root) extends the repo's
+// benchmark trajectory (BENCH_PR2.json holds the deterministic-scheme
+// baseline, BENCH_PR4.json the first event-horizon generation):
+//
+//	go run ./cmd/benchff -out BENCH_PR7.json
 package main
 
 import (
@@ -51,10 +56,15 @@ type result struct {
 	Speedup      float64 `json:"speedup"`
 }
 
-// coverage reports which fast-path interfaces a scheme implements.
+// coverage reports which fast-path interfaces a scheme implements and which
+// of the four attacks its lifetime runs can absorb through the bulk loop:
+// repeat and inconsistent ride the RunWriter interface (the inconsistent
+// stream emits deterministic stretches between feedback events), scan rides
+// SweepWriter, and random has no run structure to absorb.
 type coverage struct {
-	Run   bool `json:"run"`
-	Sweep bool `json:"sweep"`
+	Run     bool            `json:"run"`
+	Sweep   bool            `json:"sweep"`
+	Attacks map[string]bool `json:"attacks"`
 }
 
 type report struct {
@@ -73,7 +83,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path (empty: stdout only)")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path (empty: stdout only)")
 	reps := flag.Int("reps", 10, "timed repetitions per configuration (best-of)")
 	seed := flag.Uint64("seed", 1, "system and scheme seed")
 	schemes := flag.String("schemes", "", "comma-separated scheme names (default: every registered scheme)")
@@ -116,6 +126,7 @@ func main() {
 	}{
 		{"repeat", twl.AttackRepeat},
 		{"scan", twl.AttackScan},
+		{"inconsistent", twl.AttackInconsistent},
 	}
 
 	for _, m := range modes {
@@ -193,6 +204,12 @@ func probeCoverage(sys twl.SystemConfig, scheme string, seed uint64) (coverage, 
 	var cov coverage
 	_, cov.Run = s.(runWriter)
 	_, cov.Sweep = s.(sweepWriter)
+	cov.Attacks = map[string]bool{
+		"repeat":       cov.Run,
+		"random":       false,
+		"scan":         cov.Sweep,
+		"inconsistent": cov.Run,
+	}
 	return cov, nil
 }
 

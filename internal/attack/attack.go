@@ -72,8 +72,9 @@ type Stream interface {
 // feedback (the repeat attack: one address forever). NextRun returns the
 // address and how many consecutive writes of it the stream commits to; the
 // caller treats all n as consumed even if it stops early (the run has no
-// internal state to rewind). Feedback-driven streams (inconsistent) must
-// not implement RunStream.
+// internal state to rewind). Feedback-driven streams must implement
+// FeedbackRunStream instead, so the caller knows to relay the served
+// requests' feedback.
 type RunStream interface {
 	Stream
 	NextRun(fb Feedback) (addr int, n int)
@@ -86,6 +87,30 @@ type RunStream interface {
 type SweepStream interface {
 	Stream
 	NextSweep(fb Feedback) (addr int, n int)
+}
+
+// FeedbackRunStream is the fast-forward interface for feedback-driven
+// streams (the inconsistent attack). The stream still emits same-address
+// runs, but because its control state evolves with every response it
+// observes, a run may only extend as far as the stream can prove that *no
+// possible feedback sequence* changes its output — the stream's own
+// feedback reactions become the event horizons, exactly as scheme-internal
+// events do for wl.RunWriter.
+//
+// Protocol: NextRun(fb) consumes fb as the feedback of the request before
+// the run (like Next) and commits to n same-address writes. The caller
+// serves them and, for every serving step, relays the served requests'
+// feedback through Observe(fb, k) — uniform feedback for a bulk-absorbed
+// chunk of k, the individual feedback for a per-write-served request
+// (k == 1). Observe consumes at most the feedback of the run's first n-1
+// requests; the last request's feedback reaches the stream through the next
+// NextRun call, exactly as in the per-request protocol. A caller that
+// serves every request through Next instead (never calling NextRun) sees
+// the identical stream.
+type FeedbackRunStream interface {
+	Stream
+	NextRun(fb Feedback) (addr int, n int)
+	Observe(fb Feedback, n int)
 }
 
 // repeatRunLength is how many writes a repeat RunStream commits to per
@@ -232,10 +257,18 @@ type inconsistentStream struct {
 	minFlipAt  int // snap: derived by buildWeights
 	fallbackAt int // snap: derived by buildWeights
 
+	// owed is how many served requests of the current NextRun commitment
+	// still owe the stream their feedback (see FeedbackRunStream): their
+	// swap-detection halves were deferred to Observe when the run's
+	// emission halves were bulk-applied.
+	owed int
+
 	// Reversals counts distribution flips (exported via accessor for tests
 	// and experiment logs).
 	reversals int
 }
+
+var _ FeedbackRunStream = (*inconsistentStream)(nil)
 
 // buildWeights constructs the burst lengths: zero for the cold half,
 // an ascending 2..90 ramp (the Figure 3 spread) for the hot half.
@@ -303,6 +336,79 @@ func (s *inconsistentStream) Next(fb Feedback) int {
 	}
 	s.remaining--
 	return s.idx
+}
+
+// NextRun implements FeedbackRunStream. Next interleaves two independent
+// halves per request: the swap-detection half (sawBlock/quiet bookkeeping,
+// which reads the previous request's feedback and may reverse) and the
+// emission half (sinceFlip and burst advance, which may also reverse via the
+// fallback). As long as no reversal can fire, the halves touch disjoint
+// state and commute — so NextRun serves the first request through the full
+// serial Next (absorbing any reversal at the run head), bulk-applies the
+// emission halves of the longest provably reversal-free extension, and
+// defers that extension's detection halves to Observe.
+func (s *inconsistentStream) NextRun(fb Feedback) (int, int) {
+	a := s.Next(fb)
+	h := s.safeHorizon()
+	s.sinceFlip += h
+	s.remaining -= h
+	s.owed = h
+	return a, 1 + h
+}
+
+// safeHorizon returns how many writes beyond the one just emitted are
+// guaranteed to repeat the same address with no reversal, whatever feedback
+// the served writes produce. Three bounds: the current burst's remainder
+// (the address changes after it), the fallback reversal (fires when
+// sinceFlip reaches fallbackAt, feedback-independent), and the earliest
+// future request at which the swap-end reversal could fire assuming
+// worst-case feedback — a quiet streak running on unbroken if a block was
+// already seen, or a block on the very next response otherwise.
+func (s *inconsistentStream) safeHorizon() int {
+	h := s.remaining
+	if f := s.fallbackAt - s.sinceFlip - 1; f < h {
+		h = f
+	}
+	// j is the earliest request index (1-based, counting from the next
+	// request) at which quiet could reach quietThreshold; the reversal
+	// additionally requires sinceFlip (read before its increment) to have
+	// reached minFlipAt by then.
+	j := s.quietThreshold + 1
+	if s.sawBlock {
+		j = s.quietThreshold - s.quiet
+	}
+	if m := s.minFlipAt - s.sinceFlip + 1; m > j {
+		j = m
+	}
+	if j-1 < h {
+		h = j - 1
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// Observe implements FeedbackRunStream: the deferred swap-detection halves
+// of n served requests, under their shared feedback. Within a NextRun
+// commitment safeHorizon guarantees no reversal can fire, so the halves
+// reduce to O(1) counter arithmetic; the run's last request is never
+// consumed here (owed caps at n-1) — its feedback arrives through the next
+// NextRun, as in the serial protocol.
+func (s *inconsistentStream) Observe(fb Feedback, n int) {
+	if n > s.owed {
+		n = s.owed
+	}
+	if n <= 0 {
+		return
+	}
+	s.owed -= n
+	if fb.Blocked {
+		s.sawBlock = true
+		s.quiet = 0
+	} else if s.sawBlock {
+		s.quiet += n
+	}
 }
 
 // weight returns the current burst length for address i under the current

@@ -158,6 +158,90 @@ func TestInconsistentFallbackReversal(t *testing.T) {
 	}
 }
 
+// TestInconsistentNextRunMatchesSerial drives two identical streams — one
+// through the per-write Next path and one through the FeedbackRunStream bulk
+// protocol — against the same scripted feedback, and requires bit-identical
+// address sequences, including across swap-detection reversals.
+func TestInconsistentNextRunMatchesSerial(t *testing.T) {
+	newStream := func() *inconsistentStream {
+		cfg := DefaultConfig(Inconsistent, 1024, 1)
+		cfg.TargetPages = 4
+		cfg.QuietThreshold = 8
+		return mustNew(t, cfg).(*inconsistentStream)
+	}
+	serial := newStream()
+	bulk := newStream()
+	// A deterministic pseudo-schedule of detected swaps: short blocked
+	// stretches at a period unaligned with the stream's pass length.
+	outcome := func(step int) Feedback {
+		return Feedback{Blocked: step%1009 < 3}
+	}
+	const steps = 200000
+	want := make([]int, steps)
+	fb := Feedback{}
+	for k := 0; k < steps; k++ {
+		want[k] = serial.Next(fb)
+		fb = outcome(k)
+	}
+	fb = Feedback{}
+	for k := 0; k < steps; {
+		addr, n := bulk.NextRun(fb)
+		if n < 1 {
+			t.Fatalf("NextRun returned n=%d", n)
+		}
+		if k+n > steps {
+			n = steps - k
+		}
+		for i := 0; i < n; i++ {
+			if want[k+i] != addr {
+				t.Fatalf("step %d: bulk emits %d, serial emitted %d", k+i, addr, want[k+i])
+			}
+			fb = outcome(k + i)
+			if i < n-1 {
+				// The run's last request hands its feedback to the next
+				// NextRun instead (see FeedbackRunStream).
+				bulk.Observe(fb, 1)
+			}
+		}
+		k += n
+	}
+	if serial.Reversals() == 0 {
+		t.Fatal("script never triggered a reversal; the equivalence is vacuous")
+	}
+	if bulk.Reversals() != serial.Reversals() {
+		t.Fatalf("reversals diverge: bulk %d, serial %d", bulk.Reversals(), serial.Reversals())
+	}
+}
+
+// TestInconsistentObserveCapsAtOwed: feedback relayed beyond the current
+// NextRun commitment must be dropped, not double-counted into the quiet
+// window.
+func TestInconsistentObserveCapsAtOwed(t *testing.T) {
+	cfg := DefaultConfig(Inconsistent, 1024, 1)
+	s := mustNew(t, cfg).(*inconsistentStream)
+	s.Next(Feedback{Blocked: true})
+	// Step into a long burst so the next run has real length.
+	for s.remaining < 10 {
+		s.Next(Feedback{})
+	}
+	_, n := s.NextRun(Feedback{})
+	if n < 2 {
+		t.Fatalf("run too short to exercise the cap: n=%d", n)
+	}
+	q0 := s.quiet
+	s.Observe(Feedback{}, n+1000)
+	if s.owed != 0 {
+		t.Fatalf("owed = %d after full relay, want 0", s.owed)
+	}
+	if s.quiet != q0+n-1 {
+		t.Fatalf("quiet advanced to %d, want %d (capped at the owed %d requests)", s.quiet, q0+n-1, n-1)
+	}
+	s.Observe(Feedback{}, 5)
+	if s.quiet != q0+n-1 {
+		t.Fatalf("Observe past a drained commitment advanced quiet to %d", s.quiet)
+	}
+}
+
 func TestInconsistentTargetsClampedToPages(t *testing.T) {
 	cfg := DefaultConfig(Inconsistent, 4, 1)
 	cfg.TargetPages = 100

@@ -49,7 +49,9 @@ func (s *scanStream) Restore(r io.Reader) error {
 	return sr.Err()
 }
 
-// Snapshot serializes the burst position and the swap-phase detector state.
+// Snapshot serializes the burst position, the swap-phase detector state and
+// the deferred-feedback debt of an in-flight NextRun commitment (a bulk-run
+// checkpoint can fire mid-run; see FeedbackRunStream).
 func (s *inconsistentStream) Snapshot(w io.Writer) error {
 	sw := snap.NewWriter(w)
 	sw.Int(s.idx)
@@ -58,6 +60,7 @@ func (s *inconsistentStream) Snapshot(w io.Writer) error {
 	sw.Bool(s.sawBlock)
 	sw.Int(s.quiet)
 	sw.Int(s.sinceFlip)
+	sw.Int(s.owed)
 	sw.Int(s.reversals)
 	return sw.Err()
 }
@@ -71,6 +74,7 @@ func (s *inconsistentStream) Restore(r io.Reader) error {
 	s.sawBlock = sr.Bool()
 	s.quiet = sr.Int()
 	s.sinceFlip = sr.Int()
+	s.owed = sr.Int()
 	s.reversals = sr.Int()
 	return sr.Err()
 }

@@ -114,6 +114,43 @@ func (d *Detector) Observe(la int) {
 	}
 }
 
+// ObserveN feeds n demand writes of the same address, closing windows at
+// exactly the boundaries n sequential Observe calls would close. Bulk write
+// paths keep n below WindowHeadroom (treating the window close as an event
+// horizon), making the call O(1); the segment loop handles boundary
+// crossings for general callers.
+func (d *Detector) ObserveN(la int, n int) {
+	for n > 0 {
+		take := d.cfg.WindowWrites - d.inWindow
+		if take > n {
+			take = n
+		}
+		d.cur[la] += take
+		d.inWindow += take
+		n -= take
+		if d.inWindow >= d.cfg.WindowWrites {
+			d.closeWindow()
+		}
+	}
+}
+
+// ObserveRange feeds one write each of the consecutive addresses la0,
+// la0+1, …, la0+n-1 — the sweep-shaped counterpart of ObserveN. Each
+// address still costs one count-table update, so the call is O(n); it
+// exists so bulk sweep paths keep the exact per-address window statistics
+// of n sequential Observe calls.
+func (d *Detector) ObserveRange(la0, n int) {
+	for i := 0; i < n; i++ {
+		d.Observe(la0 + i)
+	}
+}
+
+// WindowHeadroom returns how many more writes the current observation
+// window accepts: the WindowHeadroom-th next write closes the window (and
+// may change the alarm), so bulk paths that treat window closes as event
+// horizons absorb at most WindowHeadroom-1 writes.
+func (d *Detector) WindowHeadroom() int { return d.cfg.WindowWrites - d.inWindow }
+
 // closeWindow computes the window statistics and rotates state.
 func (d *Detector) closeWindow() {
 	d.windows++

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"bytes"
 	"testing"
 
 	"twl/internal/attack"
@@ -112,6 +113,77 @@ func TestScanAttackLooksUniform(t *testing.T) {
 	feedAttack(t, d, attack.Scan, 20*d.cfg.WindowWrites)
 	if d.EverAlarmed() {
 		t.Fatalf("scan attack raised an alarm; it should look uniform: %+v", d.Stats())
+	}
+}
+
+// snapBytes serializes a detector's full mutable state for equivalence
+// checks between the bulk and per-write observation paths.
+func snapBytes(t *testing.T, d *Detector) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestObserveNMatchesSerial: a same-address bulk observation — including
+// ones that straddle several window closes — must leave the detector in
+// exactly the state n sequential Observe calls would.
+func TestObserveNMatchesSerial(t *testing.T) {
+	bulk, serial := newDet(t), newDet(t)
+	ww := bulk.cfg.WindowWrites
+	chunks := []struct{ la, n int }{
+		{3, 10}, {7, 1}, {3, ww - 5}, {3, 3 * ww}, {11, 2}, {3, 1}, {3, ww},
+	}
+	for _, c := range chunks {
+		bulk.ObserveN(c.la, c.n)
+		for i := 0; i < c.n; i++ {
+			serial.Observe(c.la)
+		}
+		if got, want := snapBytes(t, bulk), snapBytes(t, serial); got != want {
+			t.Fatalf("ObserveN(%d, %d) diverges from sequential Observe", c.la, c.n)
+		}
+	}
+}
+
+// TestObserveRangeMatchesSerial: the consecutive-address bulk observation
+// must match the equivalent ascending Observe loop across window closes.
+func TestObserveRangeMatchesSerial(t *testing.T) {
+	bulk, serial := newDet(t), newDet(t)
+	ww := bulk.cfg.WindowWrites
+	chunks := []struct{ la0, n int }{
+		{0, 7}, {100, ww - 3}, {pages - 5, 5}, {40, 2*ww + 11},
+	}
+	for _, c := range chunks {
+		bulk.ObserveRange(c.la0, c.n)
+		for i := 0; i < c.n; i++ {
+			serial.Observe(c.la0 + i)
+		}
+		if got, want := snapBytes(t, bulk), snapBytes(t, serial); got != want {
+			t.Fatalf("ObserveRange(%d, %d) diverges from sequential Observe", c.la0, c.n)
+		}
+	}
+}
+
+// TestWindowHeadroom pins the event-horizon contract: headroom counts the
+// observations left before the next window close, and a close resets it.
+func TestWindowHeadroom(t *testing.T) {
+	d := newDet(t)
+	ww := d.cfg.WindowWrites
+	if d.WindowHeadroom() != ww {
+		t.Fatalf("fresh headroom = %d, want %d", d.WindowHeadroom(), ww)
+	}
+	d.Observe(0)
+	if d.WindowHeadroom() != ww-1 {
+		t.Fatalf("headroom after one write = %d, want %d", d.WindowHeadroom(), ww-1)
+	}
+	d.ObserveN(0, d.WindowHeadroom())
+	if d.WindowHeadroom() != ww {
+		t.Fatalf("headroom after window close = %d, want %d", d.WindowHeadroom(), ww)
+	}
+	if d.Stats().Windows != 1 {
+		t.Fatalf("windows = %d after exactly one full window", d.Stats().Windows)
 	}
 }
 

@@ -346,6 +346,30 @@ func (d *Device) WriteN(pp int, tag uint64, n int) int {
 	return int(applied)
 }
 
+// RewriteN applies n writes to physical page pp that each rewrite the
+// page's current payload — the hosted-write pattern of pairing schemes
+// (OD3P), where a failed page's program stress lands on its partner without
+// changing the partner's data. Wear, the device write counter and failure
+// clamping behave exactly as WriteN: a mid-run endurance crossing stops the
+// count at (and including) the failing write, and writes to an
+// already-failed page keep counting. The payload is untouched, matching n
+// sequential Write(pp, Peek(pp)) calls.
+func (d *Device) RewriteN(pp int, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	pp = d.resolve(pp)
+	applied := uint64(n)
+	w, e := d.wear[pp], d.endurance[pp]
+	if w < e && w+applied >= e {
+		applied = e - w
+		d.failedLog = append(d.failedLog, pp)
+	}
+	d.wear[pp] = w + applied
+	d.writes += applied
+	return int(applied)
+}
+
 // WriteRange applies one write each to the n consecutive physical pages
 // pp0, pp0+1, …, carrying tags tag, tag+1, … . It stops after the first
 // write that wears a page out (that write is applied and the failure is

@@ -174,6 +174,55 @@ func TestWearConservationProperty(t *testing.T) {
 	}
 }
 
+// TestRewriteNMatchesSerialRewrites: the hosted-write bulk operation must be
+// indistinguishable from n sequential Write(pp, Peek(pp)) calls — payload
+// preserved, wear and the device write counter advanced, and the endurance
+// crossing clamped at (and including) the failing write.
+func TestRewriteNMatchesSerialRewrites(t *testing.T) {
+	bulk := testDevice(t, 4, 20)
+	serial := testDevice(t, 4, 20)
+	for _, d := range []*Device{bulk, serial} {
+		d.Write(1, 777)
+	}
+	rewrite := func(n int) {
+		if got := bulk.RewriteN(1, n); got != n {
+			t.Fatalf("RewriteN(1, %d) applied %d before the endurance crossing", n, got)
+		}
+		for i := 0; i < n; i++ {
+			serial.Write(1, serial.Peek(1))
+		}
+	}
+	rewrite(5)
+	rewrite(1)
+	if bulk.Peek(1) != 777 || bulk.Wear(1) != serial.Wear(1) || bulk.writes != serial.writes {
+		t.Fatalf("bulk state diverges: payload %d wear %d/%d writes %d/%d",
+			bulk.Peek(1), bulk.Wear(1), serial.Wear(1), bulk.writes, serial.writes)
+	}
+	if bulk.FailedPages() != 0 {
+		t.Fatalf("premature failure log: %d entries", bulk.FailedPages())
+	}
+	// 7 of 20 writes spent; a 100-write request must clamp at the 13 left.
+	if got := bulk.RewriteN(1, 100); got != 13 {
+		t.Fatalf("RewriteN clamp applied %d, want 13", got)
+	}
+	if bulk.FailedPages() != 1 || bulk.FailureAt(0) != 1 {
+		t.Fatalf("endurance crossing not logged: %d failures", bulk.FailedPages())
+	}
+	// Writes to an already-failed page keep counting, without re-logging.
+	if got := bulk.RewriteN(1, 3); got != 3 {
+		t.Fatalf("post-failure RewriteN applied %d, want 3", got)
+	}
+	if bulk.FailedPages() != 1 {
+		t.Fatalf("dead page re-logged: %d failures", bulk.FailedPages())
+	}
+	if bulk.Wear(1) != 23 || bulk.Peek(1) != 777 {
+		t.Fatalf("post-failure wear %d payload %d, want 23 / 777", bulk.Wear(1), bulk.Peek(1))
+	}
+	if got := bulk.RewriteN(1, 0); got != 0 {
+		t.Fatalf("RewriteN(1, 0) applied %d", got)
+	}
+}
+
 func TestTotalEndurance(t *testing.T) {
 	geom := Geometry{Pages: 3, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
 	d, err := NewDevice(geom, DefaultTiming(), []uint64{5, 7, 9})

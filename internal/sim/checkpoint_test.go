@@ -113,12 +113,13 @@ func ckptCompare(t *testing.T, build schemeFactory, kind string, disableFF bool,
 }
 
 // TestCheckpointResumeDifferential sweeps every registered scheme against
-// the three differential source kinds, killing each run both mid-lifetime
+// the four differential source kinds, killing each run both mid-lifetime
 // (mid-fast-forward for bulk-writer schemes: the cadence is unaligned, so
-// checkpoints capture partially consumed source runs) and one demand write
-// before the page failure.
+// checkpoints capture partially consumed source runs — under the
+// inconsistent attack that includes the stream's deferred-feedback debt)
+// and one demand write before the page failure.
 func TestCheckpointResumeDifferential(t *testing.T) {
-	kinds := []string{"repeat", "scan", "trace"}
+	kinds := []string{"repeat", "scan", "trace", "inconsistent"}
 	if testing.Short() {
 		kinds = kinds[:1]
 	}
@@ -241,10 +242,11 @@ func FuzzCheckpointResume(f *testing.F) {
 	f.Add(uint8(3), uint8(1), uint16(3), uint32(977), false)
 	f.Add(uint8(5), uint8(2), uint16(5), uint32(64), true)
 	f.Add(uint8(7), uint8(0), uint16(2), uint32(4099), false)
+	f.Add(uint8(9), uint8(3), uint16(2), uint32(512), false)
 	f.Fuzz(func(t *testing.T, schemeSel, kindSel uint8, killDiv uint16, cadence uint32, disableFF bool) {
 		names := wl.Names()
 		name := names[int(schemeSel)%len(names)]
-		kind := []string{"repeat", "scan", "trace"}[int(kindSel)%3]
+		kind := []string{"repeat", "scan", "trace", "inconsistent"}[int(kindSel)%4]
 		every := uint64(cadence%65536 + 1)
 		build := func(t *testing.T) wl.Scheme {
 			t.Helper()

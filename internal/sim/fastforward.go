@@ -40,6 +40,11 @@ type lifetimeState struct {
 	runN      int  // requests of the run not yet served
 	runOff    int  // requests of the run already served (sweep offset)
 
+	// observer relays served-request feedback to a feedback-driven source
+	// (see FeedbackObserver); nil for feedback-independent sources. Derived
+	// from src at bulkLoop entry, so it needs no checkpoint state of its own.
+	observer FeedbackObserver
+
 	// Fast-path chunking diagnostics, registered by bulkLoop only when the
 	// scheme actually has a bulk writer and a metrics registry is attached.
 	// They describe the simulator's own fast path — the per-write path never
@@ -130,6 +135,7 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 	if hasWriter && l.reg != nil {
 		l.initFFMetrics()
 	}
+	l.observer, _ = l.src.(FeedbackObserver)
 
 	for l.demand < l.limit {
 		if !l.runActive {
@@ -147,6 +153,9 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 						a = addr + i
 					}
 					l.readOne(a)
+					if l.observer != nil {
+						l.observer.Observe(l.fb, 1)
+					}
 				}
 				continue
 			}
@@ -164,6 +173,12 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 				}
 				if absorbed > 0 {
 					l.accountBulk(cost, absorbed)
+					if l.observer != nil {
+						// The absorbed writes share one feedback; relay it
+						// before the checkpoint cadence can snapshot the
+						// source (see FeedbackObserver).
+						l.observer.Observe(l.fb, absorbed)
+					}
 					l.runN -= absorbed
 					l.runOff += absorbed
 					// Same order as the per-request path: the invariant
@@ -193,6 +208,9 @@ func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sw
 			}
 			if err := l.writeOne(a); err != nil {
 				return err
+			}
+			if l.observer != nil {
+				l.observer.Observe(l.fb, 1)
 			}
 			l.runN--
 			l.runOff++

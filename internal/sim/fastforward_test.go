@@ -26,9 +26,11 @@ import (
 // runWriters lists the schemes that must implement the fast-forward writer
 // interfaces; every other registered scheme must not, and takes the
 // per-request fallback. The deterministic schemes compute their event
-// horizon directly; TWL (all pairings) and WRL are event-sparse — RNG and
-// phase transitions only fire at interval boundaries — so they absorb the
-// stretches between events and fall back for the events themselves.
+// horizon directly; TWL (all pairings), WRL, OD3P and RBSG are event-sparse
+// — RNG draws, pairings, gap moves, shuffles and phase transitions only
+// fire at countable boundaries — so they absorb the stretches between
+// events and fall back for the events themselves. With OD3P and RBSG on
+// board the registry has no per-write-only scheme left.
 var runWriters = map[string]bool{
 	"NOWL":     true,
 	"StartGap": true,
@@ -39,6 +41,8 @@ var runWriters = map[string]bool{
 	"TWL_ap":   true,
 	"TWL_rand": true,
 	"WRL":      true,
+	"OD3P":     true,
+	"RBSG":     true,
 }
 
 const (
@@ -72,10 +76,13 @@ func diffTrace() []trace.Record {
 func diffSource(t *testing.T, kind string, pages int) Source {
 	t.Helper()
 	switch kind {
-	case "repeat", "scan":
+	case "repeat", "scan", "inconsistent":
 		mode := attack.Repeat
-		if kind == "scan" {
+		switch kind {
+		case "scan":
 			mode = attack.Scan
+		case "inconsistent":
+			mode = attack.Inconsistent
 		}
 		st, err := attack.New(attack.DefaultConfig(mode, pages, diffSeed))
 		if err != nil {
@@ -257,14 +264,17 @@ func TestFastForwardImplementers(t *testing.T) {
 }
 
 // TestFastForwardDifferential runs every registered scheme against the
-// repeat attack, the scan attack, and a bursty RLE trace replay through
-// both the fast-forward and the per-request paths, and requires
-// bit-identical observables (see diffCompare). With TWL and WRL now
-// implementing the writers, this covers the event-horizon fast path for all
-// three pairings under the default (Feistel) alpha source.
+// repeat attack, the scan attack, a bursty RLE trace replay, and the
+// feedback-driven inconsistent attack through both the fast-forward and the
+// per-request paths, and requires bit-identical observables (see
+// diffCompare). With OD3P and RBSG implementing the writers the matrix has
+// no per-write-only cell left; the inconsistent column additionally proves
+// that deferred feedback delivery (sim.FeedbackObserver) keeps the
+// attacker's swap-phase detection — and hence every reversal — bit-aligned
+// with the serial stream.
 func TestFastForwardDifferential(t *testing.T) {
 	for _, name := range wl.Names() {
-		for _, kind := range []string{"repeat", "scan", "trace"} {
+		for _, kind := range []string{"repeat", "scan", "trace", "inconsistent"} {
 			t.Run(name+"/"+kind, func(t *testing.T) {
 				diffCompare(t, registryFactory(name), kind)
 			})
@@ -337,7 +347,7 @@ func TestFastForwardDifferentialTWLVariants(t *testing.T) {
 		}},
 	}
 	for _, v := range variants {
-		for _, kind := range []string{"repeat", "scan", "trace"} {
+		for _, kind := range []string{"repeat", "scan", "trace", "inconsistent"} {
 			t.Run(v.name+"/"+kind, func(t *testing.T) {
 				diffCompare(t, twlFactory(v.cfg), kind)
 			})
@@ -370,7 +380,7 @@ func TestFastForwardDifferentialWRLVariants(t *testing.T) {
 		{"partial_swap", wrl.Config{PredictionWrites: 128, RunningMultiplier: 5, MaxSwapFraction: 0.25}},
 	}
 	for _, v := range variants {
-		for _, kind := range []string{"repeat", "scan", "trace"} {
+		for _, kind := range []string{"repeat", "scan", "trace", "inconsistent"} {
 			t.Run(v.name+"/"+kind, func(t *testing.T) {
 				diffCompare(t, wrlFactory(v.cfg), kind)
 			})

@@ -38,13 +38,27 @@ type Source interface {
 // next n requests are all the same operation on the same address. Sources
 // implementing it must not vary their output based on the per-request
 // Feedback (the simulator hands the fast path a per-batch feedback, not a
-// per-request one), and must treat all n requests as consumed even if the
-// run ends early (device failure or the demand cap). RunLifetime consumes
-// runs through wl.RunWriter when the scheme opts in, and falls back to
-// per-request Write/Read calls — bit-identically — when it doesn't.
+// per-request one) — unless they also implement FeedbackObserver, which
+// restores per-request feedback delivery — and must treat all n requests as
+// consumed even if the run ends early (device failure or the demand cap).
+// RunLifetime consumes runs through wl.RunWriter when the scheme opts in,
+// and falls back to per-request Write/Read calls — bit-identically — when
+// it doesn't.
 type RunSource interface {
 	Source
 	NextRun(fb attack.Feedback) (addr int, write bool, n int)
+}
+
+// FeedbackObserver is the extension a RunSource implements when its stream
+// is feedback-driven (the inconsistent attack): each NextRun commitment only
+// extends as far as no feedback could change the stream's output, and the
+// bulk loop relays the served requests' feedback through Observe — uniform
+// per absorbed chunk, individual per event write — so the stream's
+// detection state evolves exactly as under per-request Next calls. The
+// feedback of a run's last request is not delivered here; it reaches the
+// stream as the fb argument of the next NextRun, as in the serial protocol.
+type FeedbackObserver interface {
+	Observe(fb attack.Feedback, n int)
 }
 
 // SweepSource is the consecutive-address counterpart of RunSource: the next
@@ -83,11 +97,30 @@ func (a sweepAttackSource) NextSweep(fb attack.Feedback) (int, bool, int) {
 	return addr, true, n
 }
 
+// feedbackRunSource lifts an attack.FeedbackRunStream into a RunSource that
+// also relays served-request feedback (FeedbackObserver).
+type feedbackRunSource struct {
+	attackSource
+	r attack.FeedbackRunStream
+}
+
+func (a feedbackRunSource) NextRun(fb attack.Feedback) (int, bool, int) {
+	addr, n := a.r.NextRun(fb)
+	return addr, true, n
+}
+
+func (a feedbackRunSource) Observe(fb attack.Feedback, n int) { a.r.Observe(fb, n) }
+
 // FromAttack wraps an attack stream as a request source, preserving the
-// stream's run or sweep capability for the fast-forward path.
+// stream's run or sweep capability for the fast-forward path. The
+// FeedbackRunStream case must precede RunStream: its method set contains
+// RunStream's, but consuming it without the Observe relay would starve the
+// stream of the feedback it reacts to.
 func FromAttack(s attack.Stream) Source {
 	base := attackSource{s}
 	switch r := s.(type) {
+	case attack.FeedbackRunStream:
+		return feedbackRunSource{base, r}
 	case attack.RunStream:
 		return runAttackSource{base, r}
 	case attack.SweepStream:

@@ -388,8 +388,9 @@ func (r *Reader) F64sInto(dst []float64) {
 const Magic uint32 = 0x534C5754 // "TWLS" little-endian
 
 // Version is the current checkpoint format version. Loaders reject other
-// versions rather than guessing at layouts.
-const Version uint32 = 1
+// versions rather than guessing at layouts. v2: the inconsistent attack
+// stream additionally persists its deferred-feedback debt (owed).
+const Version uint32 = 2
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 

@@ -1,0 +1,176 @@
+package od3p
+
+import (
+	"bytes"
+	"testing"
+
+	"twl/internal/pcm"
+	"twl/internal/wl"
+)
+
+// fuzzScheme builds a small OD3P array whose per-page endurances are low and
+// uneven, so bulk runs routinely cross endurance boundaries, form pairings,
+// chain re-pairings and reach exhaustion — the full degradation regime the
+// fast path must reproduce bit-identically.
+func fuzzScheme(t *testing.T, base uint8, maxHosted int) *Scheme {
+	t.Helper()
+	geom := pcm.Geometry{Pages: 8, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	end := make([]uint64, geom.Pages)
+	for i := range end {
+		end[i] = 2 + uint64(base)%29 + uint64(i*i%7)
+	}
+	dev, err := pcm.NewDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dev, Config{MaxHosted: maxHosted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// snapBytes serializes the scheme's full mutable state (remap, pairing
+// tables, pair store, counters, stats) for equivalence checks.
+func snapBytes(t *testing.T, s *Scheme) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// compareSchemes requires bit-identical scheme and device state — the
+// fast-forward contract after any WriteRun/WriteSweep sequence versus the
+// per-write equivalent.
+func compareSchemes(t *testing.T, fast, slow *Scheme) {
+	t.Helper()
+	if snapBytes(t, fast) != snapBytes(t, slow) {
+		t.Fatal("scheme state diverges between bulk and per-write paths")
+	}
+	df, ds := fast.dev, slow.dev
+	if df.TotalWrites() != ds.TotalWrites() {
+		t.Fatalf("device writes: fast %d, slow %d", df.TotalWrites(), ds.TotalWrites())
+	}
+	for pp := 0; pp < df.Pages(); pp++ {
+		if df.Wear(pp) != ds.Wear(pp) || df.Peek(pp) != ds.Peek(pp) {
+			t.Fatalf("device page %d: wear %d/%d payload %d/%d",
+				pp, df.Wear(pp), ds.Wear(pp), df.Peek(pp), ds.Peek(pp))
+		}
+	}
+	if df.FailedPages() != ds.FailedPages() {
+		t.Fatalf("failure log length: fast %d, slow %d", df.FailedPages(), ds.FailedPages())
+	}
+	for i := 0; i < df.FailedPages(); i++ {
+		if df.FailureAt(i) != ds.FailureAt(i) {
+			t.Fatalf("failure %d: fast page %d, slow page %d", i, df.FailureAt(i), ds.FailureAt(i))
+		}
+	}
+	if err := fast.CheckInvariants(); err != nil {
+		t.Fatalf("fast invariants: %v", err)
+	}
+	if err := slow.CheckInvariants(); err != nil {
+		t.Fatalf("slow invariants: %v", err)
+	}
+}
+
+// costTotals accumulates wl.Cost over a write sequence; the uniform
+// event-free cost contract means a bulk chunk's cost times its length must
+// equal the per-write sum.
+type costTotals struct {
+	writes, reads, cycles, blocked int
+}
+
+func (c *costTotals) add(cost wl.Cost, k int) {
+	c.writes += cost.DeviceWrites * k
+	c.reads += cost.DeviceReads * k
+	c.cycles += cost.ExtraCycles * k
+	if cost.Blocked {
+		c.blocked += k
+	}
+}
+
+// FuzzEventHorizonOD3P fuzzes the OD3P fast path: for every tuple (endurance
+// base, target address, run length, hosting limit) driving WriteRun or
+// WriteSweep through the bulk-loop caller protocol must leave scheme, device
+// and accumulated cost bit-identical to the per-write loop — across
+// endurance crossings, pairing migrations, partner deaths and exhaustion.
+// WriteRun's absorbed == 0 must always mean "the next write is the blocked
+// pairing event", the scheme's only event.
+func FuzzEventHorizonOD3P(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(200), uint8(0))
+	f.Add(uint8(7), uint8(3), uint16(600), uint8(1))
+	f.Add(uint8(28), uint8(5), uint16(50), uint8(2))
+	f.Add(uint8(13), uint8(2), uint16(400), uint8(4))
+	f.Fuzz(func(t *testing.T, base, la8 uint8, n16 uint16, hosted uint8) {
+		const pages = 8
+		la := int(la8) % pages
+		n := int(n16)%600 + 1
+		maxHosted := int(hosted)%3 + 1
+
+		// Same-address run: fast side uses the bulk-loop protocol, slow side
+		// is the literal per-write loop.
+		fast := fuzzScheme(t, base, maxHosted)
+		slow := fuzzScheme(t, base, maxHosted)
+		var fc, sc costTotals
+		served := 0
+		for served < n {
+			cost, applied := fast.WriteRun(la, uint64(served), n-served)
+			if applied > 0 {
+				if cost.Blocked {
+					t.Fatal("WriteRun absorbed a blocked write")
+				}
+				fc.add(cost, applied)
+				served += applied
+				continue
+			}
+			ev := fast.Write(la, uint64(served))
+			if !ev.Blocked {
+				t.Fatal("absorbed == 0 but the served write was not a pairing")
+			}
+			fc.add(ev, 1)
+			served++
+		}
+		for i := 0; i < n; i++ {
+			sc.add(slow.Write(la, uint64(i)), 1)
+		}
+		if fc != sc {
+			t.Fatalf("run cost totals diverge: fast %+v, slow %+v", fc, sc)
+		}
+		compareSchemes(t, fast, slow)
+
+		// Consecutive-address sweep cycling over the array. Once a page is
+		// dead WriteSweep declines (absorbed == 0) and the per-write path
+		// serves healthy and dead-page writes alike.
+		fast = fuzzScheme(t, base, maxHosted)
+		slow = fuzzScheme(t, base, maxHosted)
+		fc, sc = costTotals{}, costTotals{}
+		served = 0
+		for served < n {
+			a := served % pages
+			run := pages - a
+			if rem := n - served; rem < run {
+				run = rem
+			}
+			cost, applied := fast.WriteSweep(a, uint64(served), run)
+			if applied > 0 {
+				if cost.Blocked {
+					t.Fatal("WriteSweep absorbed a blocked write")
+				}
+				fc.add(cost, applied)
+				served += applied
+				continue
+			}
+			fc.add(fast.Write(a, uint64(served)), 1)
+			served++
+		}
+		for i := 0; i < n; i++ {
+			sc.add(slow.Write(i%pages, uint64(i)), 1)
+		}
+		if fc != sc {
+			t.Fatalf("sweep cost totals diverge: fast %+v, slow %+v", fc, sc)
+		}
+		compareSchemes(t, fast, slow)
+	})
+}

@@ -84,6 +84,11 @@ func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
 	}, nil
 }
 
+var _ wl.Scheme = (*Scheme)(nil)
+var _ wl.Checker = (*Scheme)(nil)
+var _ wl.RunWriter = (*Scheme)(nil)
+var _ wl.SweepWriter = (*Scheme)(nil)
+
 // Name implements wl.Scheme.
 func (s *Scheme) Name() string { return "OD3P" }
 
@@ -137,6 +142,72 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 	s.dev.Write(b, s.dev.Peek(b))
 	cost.DeviceWrites++
 	return cost
+}
+
+// eventFreeCost is the uniform per-write cost of every non-pairing path:
+// healthy writes, hosted writes (the partner rewrites its own payload) and
+// post-exhaustion writes all touch the device once under the same table and
+// control latency, unblocked. The only event is the pairing itself.
+func eventFreeCost() wl.Cost {
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + wl.TableCycles}
+}
+
+// WriteRun implements wl.RunWriter. OD3P never remaps (the table stays the
+// identity; pairing redirects program stress, not addresses) and draws no
+// randomness, so a same-address run has exactly one event to stop before:
+// the blocked pairing migration, which fires on the first write to a dead
+// unpaired page while a spare remains. Every other regime collapses into
+// one bulk device operation — WriteN on a healthy page (clamping at its
+// endurance crossing), RewriteN on the partner of a hosted page (clamping
+// at the partner's), or WriteN on the dead page itself once capacity is
+// exhausted.
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	if n <= 0 {
+		return wl.Cost{}, 0
+	}
+	pa := s.rt.Phys(la)
+	if !s.dead(pa) {
+		applied := s.dev.WriteN(pa, tag, n)
+		s.stats.DemandWrites += uint64(applied)
+		return eventFreeCost(), applied
+	}
+	b := s.buddy[pa]
+	if b < 0 || s.dead(b) {
+		if _, ok := s.pickSpare(); ok {
+			// The next write forms a pairing — a blocked event served
+			// through Write.
+			return wl.Cost{}, 0
+		}
+		// Capacity exhausted: writes are absorbed by the dead page, exactly
+		// as Write would absorb each of them.
+		s.exhausted = true
+		applied := s.dev.WriteN(pa, tag, n)
+		s.stats.DemandWrites += uint64(applied)
+		return eventFreeCost(), applied
+	}
+	// Hosted: the owner's payload advances in the pair store while the
+	// partner absorbs the program stress without changing its own data.
+	applied := s.dev.RewriteN(b, n)
+	s.store[pa] = tag + uint64(applied) - 1
+	s.stats.DemandWrites += uint64(applied)
+	return eventFreeCost(), applied
+}
+
+// WriteSweep implements wl.SweepWriter: with the identity mapping a
+// consecutive-address sweep is a consecutive physical range. The bulk path
+// covers the no-failure regime — while every page has wear headroom no
+// write can reach the dead-page paths, and MinRemainingAtLeast keeps that
+// check O(1) amortized — with WriteRange clamping at the sweep's first
+// endurance crossing. Once any page is dead the per-write path takes over
+// (absorbed == 0), since a sweep would interleave healthy and dead-page
+// writes of differing behavior.
+func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	if n <= 0 || !s.dev.MinRemainingAtLeast(1) {
+		return wl.Cost{}, 0
+	}
+	applied := s.dev.WriteRange(s.rt.Phys(la), tag, n)
+	s.stats.DemandWrites += uint64(applied)
+	return eventFreeCost(), applied
 }
 
 // pickSpare returns the healthiest page not yet at its hosting limit.

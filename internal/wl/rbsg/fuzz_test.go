@@ -1,0 +1,217 @@
+package rbsg
+
+import (
+	"bytes"
+	"testing"
+
+	"twl/internal/detect"
+	"twl/internal/pcm"
+	"twl/internal/wl"
+)
+
+// fuzzScheme builds a small RBSG array with a tight detector window, a short
+// gap interval and low, uneven endurance, so a few hundred writes routinely
+// cross window closes, gap moves, alarm boosts, cross-region shuffles and
+// the endurance clamp — every event the fast path must stop before.
+func fuzzScheme(t *testing.T, base, win, iv uint8) *Scheme {
+	t.Helper()
+	geom := pcm.Geometry{Pages: 64, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	end := make([]uint64, geom.Pages)
+	for i := range end {
+		end[i] = 40 + uint64(base)%200 + uint64(i%5)
+	}
+	dev, err := pcm.NewDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dev, Config{
+		Regions:              8,
+		BaseGapInterval:      int(iv)%40 + 2,
+		BoostFactor:          4,
+		AlarmShuffleInterval: 16,
+		Detector: detect.Config{
+			WindowWrites:       int(win)%60 + 12,
+			TrackTop:           8,
+			ConcentrationAlarm: 0.3,
+			ReversalAlarm:      -0.2,
+			AlarmWindows:       2,
+		},
+		Seed: uint64(base)*977 + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// snapBytes serializes the scheme's full mutable state (remap, region
+// rotation progress, detector, shuffle RNG position, counters, stats) for
+// equivalence checks — RNG-stream alignment included.
+func snapBytes(t *testing.T, s *Scheme) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// compareSchemes requires bit-identical scheme and device state — the
+// fast-forward contract after any WriteRun/WriteSweep sequence versus the
+// per-write equivalent.
+func compareSchemes(t *testing.T, fast, slow *Scheme) {
+	t.Helper()
+	if snapBytes(t, fast) != snapBytes(t, slow) {
+		t.Fatal("scheme state diverges between bulk and per-write paths")
+	}
+	df, ds := fast.dev, slow.dev
+	if df.TotalWrites() != ds.TotalWrites() {
+		t.Fatalf("device writes: fast %d, slow %d", df.TotalWrites(), ds.TotalWrites())
+	}
+	for pp := 0; pp < df.Pages(); pp++ {
+		if df.Wear(pp) != ds.Wear(pp) || df.Peek(pp) != ds.Peek(pp) {
+			t.Fatalf("device page %d: wear %d/%d payload %d/%d",
+				pp, df.Wear(pp), ds.Wear(pp), df.Peek(pp), ds.Peek(pp))
+		}
+	}
+	if df.FailedPages() != ds.FailedPages() {
+		t.Fatalf("failure log length: fast %d, slow %d", df.FailedPages(), ds.FailedPages())
+	}
+	if err := fast.CheckInvariants(); err != nil {
+		t.Fatalf("fast invariants: %v", err)
+	}
+	if err := slow.CheckInvariants(); err != nil {
+		t.Fatalf("slow invariants: %v", err)
+	}
+}
+
+// eventFired reports whether serving one write through the per-write path
+// actually ran an event, given the pre-write observables: a gap move or a
+// non-degenerate shuffle blocks, a window close bumps the window count, and
+// a degenerate shuffle (no hottest address, or the swap picked the same
+// page) still resets the shuffle countdown.
+func eventFired(s *Scheme, cost wl.Cost, windows0, sinceShuffle0 int) bool {
+	return cost.Blocked || s.det.Stats().Windows != windows0 || s.sinceShuffle < sinceShuffle0
+}
+
+// FuzzEventHorizonRBSG fuzzes the RBSG event-horizon arithmetic: for every
+// tuple (endurance base, detector window, gap interval, target address, run
+// length) driving WriteRun or WriteSweep through the bulk-loop caller
+// protocol must leave scheme, device, detector, RNG and accumulated cost
+// bit-identical to the per-write loop, and absorbed == 0 must always mean
+// "the next write fires an event" (no silent livelock, no early stop).
+func FuzzEventHorizonRBSG(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint16(300))
+	f.Add(uint8(100), uint8(17), uint8(3), uint8(9), uint16(600))
+	f.Add(uint8(200), uint8(50), uint8(39), uint8(55), uint16(120))
+	f.Add(uint8(42), uint8(30), uint8(1), uint8(20), uint16(500))
+	f.Fuzz(func(t *testing.T, base, win, iv, la8 uint8, n16 uint16) {
+		n := int(n16)%600 + 1
+
+		// Same-address run: fast side uses the bulk-loop protocol, slow side
+		// is the literal per-write loop. Both stop at n writes or the first
+		// page failure, mirroring the lifetime loop.
+		fast := fuzzScheme(t, base, win, iv)
+		slow := fuzzScheme(t, base, win, iv)
+		la := int(la8) % fast.LogicalPages()
+		var fc, sc costTotals
+		served := 0
+		for served < n {
+			if _, failed := fast.dev.Failed(); failed {
+				break
+			}
+			cost, applied := fast.WriteRun(la, uint64(served), n-served)
+			if applied > 0 {
+				if cost.Blocked {
+					t.Fatal("WriteRun absorbed a blocked write")
+				}
+				fc.add(cost, applied)
+				served += applied
+				continue
+			}
+			w0, ss0 := fast.det.Stats().Windows, fast.sinceShuffle
+			ev := fast.Write(la, uint64(served))
+			if !eventFired(fast, ev, w0, ss0) {
+				t.Fatal("absorbed == 0 but the served write fired no event")
+			}
+			fc.add(ev, 1)
+			served++
+		}
+		for i := 0; i < served; i++ {
+			if _, failed := slow.dev.Failed(); failed {
+				t.Fatalf("slow run failed after %d writes, fast served %d", i, served)
+			}
+			sc.add(slow.Write(la, uint64(i)), 1)
+		}
+		if _, failed := fast.dev.Failed(); !failed && served < n {
+			t.Fatalf("fast run stopped at %d/%d without a failure", served, n)
+		}
+		if fc != sc {
+			t.Fatalf("run cost totals diverge: fast %+v, slow %+v", fc, sc)
+		}
+		compareSchemes(t, fast, slow)
+
+		// Consecutive-address sweep cycling over the demand address space,
+		// fanning out across all regions' gap-move horizons.
+		fast = fuzzScheme(t, base, win, iv)
+		slow = fuzzScheme(t, base, win, iv)
+		lp := fast.LogicalPages()
+		fc, sc = costTotals{}, costTotals{}
+		served = 0
+		for served < n {
+			if _, failed := fast.dev.Failed(); failed {
+				break
+			}
+			a := served % lp
+			run := lp - a
+			if rem := n - served; rem < run {
+				run = rem
+			}
+			cost, applied := fast.WriteSweep(a, uint64(served), run)
+			if applied > 0 {
+				if cost.Blocked {
+					t.Fatal("WriteSweep absorbed a blocked write")
+				}
+				fc.add(cost, applied)
+				served += applied
+				continue
+			}
+			w0, ss0 := fast.det.Stats().Windows, fast.sinceShuffle
+			ev := fast.Write(a, uint64(served))
+			if !eventFired(fast, ev, w0, ss0) {
+				t.Fatal("sweep absorbed == 0 but the served write fired no event")
+			}
+			fc.add(ev, 1)
+			served++
+		}
+		for i := 0; i < served; i++ {
+			if _, failed := slow.dev.Failed(); failed {
+				t.Fatalf("slow sweep failed after %d writes, fast served %d", i, served)
+			}
+			sc.add(slow.Write(i%lp, uint64(i)), 1)
+		}
+		if _, failed := fast.dev.Failed(); !failed && served < n {
+			t.Fatalf("fast sweep stopped at %d/%d without a failure", served, n)
+		}
+		if fc != sc {
+			t.Fatalf("sweep cost totals diverge: fast %+v, slow %+v", fc, sc)
+		}
+		compareSchemes(t, fast, slow)
+	})
+}
+
+// costTotals accumulates wl.Cost over a write sequence; the uniform
+// event-free cost contract means a bulk chunk's cost times its length must
+// equal the per-write sum.
+type costTotals struct {
+	writes, reads, cycles, blocked int
+}
+
+func (c *costTotals) add(cost wl.Cost, k int) {
+	c.writes += cost.DeviceWrites * k
+	c.reads += cost.DeviceReads * k
+	c.cycles += cost.ExtraCycles * k
+	if cost.Blocked {
+		c.blocked += k
+	}
+}

@@ -90,7 +90,14 @@ type Scheme struct {
 	shuffles         uint64 // cross-region randomizing swaps under alarm
 	sinceShuffle     int
 	src              *rng.Xorshift
+
+	scratch []int // snap: scratch buffer; physical-address batch for WriteSweep
 }
+
+var _ wl.Scheme = (*Scheme)(nil)
+var _ wl.Checker = (*Scheme)(nil)
+var _ wl.RunWriter = (*Scheme)(nil)
+var _ wl.SweepWriter = (*Scheme)(nil)
 
 // New builds the scheme over dev.
 func New(dev *pcm.Device, cfg Config) (*Scheme, error) {
@@ -231,6 +238,119 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 		}
 	}
 	return cost
+}
+
+// eventFreeCost is the uniform per-write cost between events: one device
+// write under the table and control path, no gap move, no shuffle.
+func eventFreeCost() wl.Cost {
+	return wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + wl.TableCycles}
+}
+
+// globalHorizon clamps an event-free prefix at the events shared across
+// regions: the detector's window close — the only place the alarm, and
+// with it the gap interval and shuffle cadence, can change — and, under
+// alarm, the next cross-region shuffle (which draws RNG and blocks). The
+// window-closing write itself is served through Write: its cost is the
+// uniform event-free cost, so bit-identity holds, and the close then runs
+// in the per-write path exactly as the serial loop would run it.
+func (s *Scheme) globalHorizon(n int) int {
+	if h := s.det.WindowHeadroom() - 1; h < n {
+		n = h
+	}
+	if s.det.Alarm() {
+		if h := s.cfg.AlarmShuffleInterval - s.sinceShuffle - 1; h < n {
+			n = h
+		}
+	}
+	return n
+}
+
+// WriteRun implements wl.RunWriter: a same-address run stays on one
+// physical page in one region until the next event — the region's gap move,
+// the detector's window close, or (under alarm) the cross-region shuffle —
+// so the event-free prefix collapses into one bulk device write (WriteN,
+// clamping at a mid-run endurance crossing) plus O(1) advances of the
+// detector window, the region's gap counter and the shuffle counter. The
+// alarm is constant between window closes, which is what makes interval()
+// and the shuffle-counter branch loop-invariant.
+func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
+	k := s.globalHorizon(n)
+	r, slot := s.locate(la)
+	if h := s.interval() - r.sinceMove - 1; h < k {
+		k = h
+	}
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	applied := s.dev.WriteN(s.rt.Phys(r.base+slot), tag, k)
+	s.det.ObserveN(la, applied)
+	s.stats.DemandWrites += uint64(applied)
+	r.sinceMove += applied
+	if s.det.Alarm() {
+		s.sinceShuffle += applied
+	}
+	return eventFreeCost(), applied
+}
+
+// WriteSweep implements wl.SweepWriter: consecutive logical addresses fan
+// out across regions through the per-region affine maps, so the event-free
+// prefix resolves into a physical-address batch served by one gather write
+// (WriteSeq, clamping at the first endurance crossing; within one sweep the
+// mapping bijection keeps the batch's pages distinct, so the clamp point is
+// exact). Each touched region contributes its own gap-move horizon: the
+// sweep visits a region's addresses consecutively, so the region's write
+// count is its overlap with the absorbed prefix.
+func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
+	k := s.globalHorizon(n)
+	iv := s.interval()
+	lpr := s.logicalPerRegion
+	// Region q first sees the sweep at offset q*lpr-la (clamped to 0) and
+	// would fire its gap move iv - sinceMove writes later; the prefix stops
+	// strictly before the earliest one. An alarm boost can shrink iv below a
+	// region's accumulated sinceMove, but its move still cannot fire before
+	// the sweep reaches the region, so the horizon never drops below start.
+	for q := la / lpr; q*lpr < la+k; q++ {
+		start := q*lpr - la
+		if start < 0 {
+			start = 0
+		}
+		h := start + iv - s.regions[q].sinceMove - 1
+		if h < start {
+			h = start
+		}
+		if h < k {
+			k = h
+		}
+	}
+	if k <= 0 {
+		return wl.Cost{}, 0
+	}
+	if cap(s.scratch) < k {
+		s.scratch = make([]int, k)
+	}
+	buf := s.scratch[:k]
+	for i := range buf {
+		r, slot := s.locate(la + i)
+		buf[i] = s.rt.Phys(r.base + slot)
+	}
+	applied := s.dev.WriteSeq(buf, tag)
+	s.det.ObserveRange(la, applied)
+	s.stats.DemandWrites += uint64(applied)
+	for q := la / lpr; q*lpr < la+applied; q++ {
+		start := q*lpr - la
+		if start < 0 {
+			start = 0
+		}
+		end := (q+1)*lpr - la
+		if end > applied {
+			end = applied
+		}
+		s.regions[q].sinceMove += end - start
+	}
+	if s.det.Alarm() {
+		s.sinceShuffle += applied
+	}
+	return eventFreeCost(), applied
 }
 
 // shuffle relocates the detector's hottest address: its physical home is
