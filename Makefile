@@ -2,7 +2,7 @@
 # analysis (go vet plus the project's own twlint suite), build, the full
 # race-enabled test suite and a single-iteration benchmark smoke (catches
 # bit-rot in the hot-loop benchmarks without spending benchmark time).
-.PHONY: check fmt vet lint build test bench benchsmoke fuzzsmoke
+.PHONY: check fmt vet lint budget build test bench benchsmoke fuzzsmoke
 
 check: fmt vet lint build test benchsmoke
 
@@ -16,10 +16,19 @@ vet:
 	go vet ./...
 
 # Project-specific static contracts (determinism, registry, cost accounting,
-# locks/atomics) — see DESIGN.md "Static contracts". Exceptions live in
-# twlint.allow.
+# locks/atomics, concurrency discipline, hotpath allocation budget) — see
+# DESIGN.md "Static contracts". Exceptions live in twlint.allow (strict: a
+# stale entry is itself a finding); the hotpath escape-analysis budget lives
+# in twlint.budget.
 lint:
-	go run ./cmd/twlint ./...
+	go run ./cmd/twlint -budget twlint.budget ./...
+
+# Regenerate the hotpath allocation budget and fail when it drifts from the
+# committed file — run after intentionally changing a //twl:hotpath function
+# and commit the result.
+budget:
+	go run ./cmd/twlint -update-budget -budget twlint.budget ./...
+	git diff --exit-code -- twlint.budget
 
 build:
 	go build ./...

@@ -1,38 +1,19 @@
-// Command twlint is the project's static-analysis suite. It machine-checks
-// the contracts the simulator's correctness claims rest on but the compiler
-// cannot see (DESIGN.md "Static contracts"):
+// Command twlint is the thin CLI over the project's static-analysis
+// framework, internal/lint. The analyzers, the driver, and the golden
+// fixtures all live there — see the package documentation of
+// twl/internal/lint for the full list of contracts and DESIGN.md "Static
+// contracts" for their rationale. Usage:
 //
-//   - determinism: simulation packages must not read wall clocks
-//     (time.Now/time.Since outside internal/clock), draw from the global
-//     math/rand source, or leak map iteration order into results.
-//   - registry: every internal/wl/<name> package exporting a scheme must
-//     register it with wl.Register, and every bulk writer
-//     (wl.RunWriter/wl.SweepWriter) must expose wl.Checker — bulk shortcuts
-//     are only trusted when they can be invariant-checked.
-//   - cost: call sites must not silently discard a returned wl.Cost or
-//     error in non-test code; dropped costs corrupt Figure 9, dropped
-//     errors hide failures.
-//   - locks: structs carrying sync or sync/atomic state must not be copied
-//     by value, and a field accessed through sync/atomic must not also be
-//     accessed as a plain variable.
-//   - snapshot: every field of a type declaring a Snapshot(io.Writer) error
-//     method must be written by Snapshot (checkpointed) or carry a snap:
-//     comment explaining its exemption — unpersisted mutable state breaks
-//     the bit-identical-resume guarantee.
-//   - decorator: a named struct type embedding the wl.Scheme interface that
-//     declares its own Write must implement every optional capability
-//     interface (wl.Checker/wl.Snapshotter/wl.RunWriter/wl.SweepWriter) —
-//     otherwise the embedded scheme's promoted methods serve those paths
-//     without the decorator's interception.
+//	go run ./cmd/twlint [-json] [-allow twlint.allow] [-allow-lax]
+//	    [-budget twlint.budget] [-update-budget] ./...
 //
-// Built entirely on the stdlib go/ast, go/parser, go/token and go/types
-// packages (module policy: no external dependencies). Usage:
-//
-//	go run ./cmd/twlint [-json] [-allow twlint.allow] ./...
-//
-// Exit status 1 when findings remain after allowlist filtering; the
-// allowlist file grants the few sanctioned exceptions (see ParseAllowlist
-// for the format).
+// Exit status 1 when findings remain after allowlist filtering, 2 on driver
+// errors. By default a run is strict about its allowlist: entries that
+// matched nothing in a loaded package are themselves reported (analyzer
+// "allowlist"); -allow-lax disables that for partial runs. -budget enables
+// the hotpath allocation-budget phase (escape-analysis diff against the
+// committed budget file); -update-budget regenerates the file instead of
+// diffing.
 package main
 
 import (
@@ -40,28 +21,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"twl/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (CI mode)")
 	allowPath := flag.String("allow", "twlint.allow", "allowlist file; empty disables")
+	allowLax := flag.Bool("allow-lax", false, "do not report stale allowlist entries (for partial runs)")
+	budgetPath := flag.String("budget", "", "hotpath allocation-budget file; empty skips the budget phase")
+	updateBudget := flag.Bool("update-budget", false, "rewrite the -budget file from the observed escape analysis")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *updateBudget && *budgetPath == "" {
+		*budgetPath = "twlint.budget"
+	}
 
-	var allow *Allowlist
+	var allow *lint.Allowlist
 	if *allowPath != "" {
 		var err error
-		allow, err = ParseAllowlist(*allowPath)
+		allow, err = lint.ParseAllowlist(*allowPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "twlint: %v\n", err)
 			os.Exit(2)
 		}
 	}
 
-	diags, err := Run(patterns, allow)
+	diags, err := lint.Run(patterns, lint.Options{
+		Allow:        allow,
+		AllowLax:     *allowLax,
+		BudgetPath:   *budgetPath,
+		UpdateBudget: *updateBudget,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "twlint: %v\n", err)
 		os.Exit(2)
@@ -71,7 +65,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
-			diags = []Diagnostic{}
+			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintf(os.Stderr, "twlint: %v\n", err)
@@ -85,42 +79,4 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
-}
-
-// Run loads the packages matching patterns and applies every analyzer,
-// returning the allowlist-filtered findings in stable order.
-func Run(patterns []string, allow *Allowlist) ([]Diagnostic, error) {
-	l := newLoader()
-	pkgs, err := l.Load(patterns)
-	if err != nil {
-		return nil, err
-	}
-	return runAnalyzers(l, pkgs, allow)
-}
-
-// runAnalyzers applies the suite to already-loaded packages.
-func runAnalyzers(l *loader, pkgs []*Package, allow *Allowlist) ([]Diagnostic, error) {
-	w, err := newWorld(l, pkgs, allow)
-	if err != nil {
-		return nil, err
-	}
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		for _, p := range pkgs {
-			diags = append(diags, a.run(p, w)...)
-		}
-	}
-	sortDiags(diags)
-	return diags, nil
-}
-
-// newWorld resolves the cross-package context: the imported view of the wl
-// contract package. Fixture runs that never touch wl-dependent analyzers
-// still resolve it — the module always contains it.
-func newWorld(l *loader, pkgs []*Package, allow *Allowlist) (*world, error) {
-	wlPkg, err := l.imp.Import(wlPath)
-	if err != nil {
-		return nil, fmt.Errorf("importing %s: %v", wlPath, err)
-	}
-	return &world{pkgs: pkgs, allow: allow, wl: wlPkg}, nil
 }

@@ -1,8 +1,9 @@
 // Package clock is the module's single sanctioned wall-clock access point.
 //
 // Simulations must be bit-reproducible, so the determinism analyzer
-// (cmd/twlint) forbids time.Now and time.Since everywhere in the simulation
-// packages; the one allowlist entry is this package. Anything that
+// (twlint) forbids calling time.Now and time.Since everywhere in the
+// simulation packages; this package stores time.Now as a function value
+// instead of calling it, so it needs no allowlist exception. Anything that
 // legitimately needs wall time — worker utilization in the experiment
 // grids, benchmark harnesses, replication timing — reads it through Now and
 // Since, which also makes those durations injectable in tests: swap the
@@ -16,7 +17,10 @@ import (
 
 // source holds the active time source. An atomic pointer (not a plain
 // package variable) so tests swapping the source do not race with worker
-// goroutines reading it.
+// goroutines reading it; the concurrency analyzer holds every use to the
+// atomic methods.
+//
+//twl:guardedby atomic
 var source atomic.Pointer[func() time.Time]
 
 func init() {

@@ -374,6 +374,8 @@ func (e *Engine) runHorizon(la, pa, n int) int {
 // signals that the next write fires an event; the caller serves it through
 // Write, which performs the toss-up / inter-pair swap with exactly the RNG
 // draws — in exactly the order — the per-write path would make.
+//
+//twl:hotpath
 func (e *Engine) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	pa := e.rt.Phys(la)
 	k := e.runHorizon(la, pa, n)
@@ -396,11 +398,10 @@ func (e *Engine) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // them exactly as the per-write path would before its device write — and
 // stops at the first write that would fire an event. The batched physical
 // addresses then go to the device as one gather-write.
+//
+//twl:hotpath
 func (e *Engine) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
-	if cap(e.scratch) < n {
-		e.scratch = make([]int, n)
-	}
-	buf := e.scratch[:0]
+	buf := wl.Scratch(&e.scratch, n)[:0]
 	// Subslice the per-LA tables to the sweep window so the walk's loads
 	// index by i with no bounds checks (wct is indexed by representative and
 	// keeps its check).

@@ -119,6 +119,8 @@ func (d *Detector) Observe(la int) {
 // paths keep n below WindowHeadroom (treating the window close as an event
 // horizon), making the call O(1); the segment loop handles boundary
 // crossings for general callers.
+//
+//twl:hotpath
 func (d *Detector) ObserveN(la int, n int) {
 	for n > 0 {
 		take := d.cfg.WindowWrites - d.inWindow
@@ -139,6 +141,8 @@ func (d *Detector) ObserveN(la int, n int) {
 // address still costs one count-table update, so the call is O(n); it
 // exists so bulk sweep paths keep the exact per-address window statistics
 // of n sequential Observe calls.
+//
+//twl:hotpath
 func (d *Detector) ObserveRange(la0, n int) {
 	for i := 0; i < n; i++ {
 		d.Observe(la0 + i)

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Allowlist holds the sanctioned exceptions read from the allowlist file.
+// Each entry scopes one analyzer to one package (every finding suppressed)
+// or to one named declaration inside it.
+//
+// The allowlist is a two-way contract: entries grant exceptions, and the
+// driver tracks which entries actually matched a finding. An entry that
+// matches nothing is itself reported as a "allowlist" diagnostic (strict
+// mode, the default) — dead exceptions are holes in a static guarantee that
+// nobody is using, and they accumulate silently otherwise. The -allow-lax
+// flag disables staleness reporting for partial runs.
+type Allowlist struct {
+	path    string
+	entries map[string]int // entry key -> 1-based line in the file
+
+	mu   sync.Mutex // guards used; Allows is called from concurrent package analyses
+	used map[string]bool
+}
+
+// ParseAllowlist reads an allowlist file: one entry per line, formatted
+//
+//	<analyzer> <package-path> [<decl-name>]
+//
+// with '#' comments and blank lines ignored. A missing file is an error —
+// the allowlist is an explicit contract, not an optional hint.
+func ParseAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read side: Close cannot lose data
+	a := &Allowlist{path: path, entries: map[string]int{}, used: map[string]bool{}}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("%s:%d: want \"analyzer pkgpath [decl]\", got %q", path, line, text)
+		}
+		a.entries[strings.Join(fields, " ")] = line
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Allows reports whether the analyzer is sanctioned for the whole package or
+// for the specific declaration (function or type name) the finding sits in,
+// and records the matched entry as used.
+func (a *Allowlist) Allows(analyzer, pkgPath, decl string) bool {
+	if a == nil {
+		return false
+	}
+	pkgKey := analyzer + " " + pkgPath
+	declKey := ""
+	if decl != "" {
+		declKey = pkgKey + " " + decl
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.entries[pkgKey]; ok {
+		a.used[pkgKey] = true
+		return true
+	}
+	if declKey != "" {
+		if _, ok := a.entries[declKey]; ok {
+			a.used[declKey] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unused returns one diagnostic per allowlist entry that never matched a
+// finding during the run, restricted to entries whose package was actually
+// loaded — a partial run (explicit patterns, fixture tests) cannot judge
+// entries for packages it never analyzed.
+func (a *Allowlist) Unused(loaded map[string]bool) []Diagnostic {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]string, 0, len(a.entries))
+	for k := range a.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var diags []Diagnostic
+	for _, k := range keys {
+		if a.used[k] {
+			continue
+		}
+		fields := strings.Fields(k)
+		if len(fields) < 2 || !loaded[fields[1]] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "allowlist",
+			Package:  fields[1],
+			Pos:      fmt.Sprintf("%s:%d:1", relPath(a.path), a.entries[k]),
+			Message:  fmt.Sprintf("stale allowlist entry %q matches no finding; delete it or rerun with -allow-lax for partial runs", k),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The hotpath allocation budget turns the fast-path performance work (run
+// fast-forward, event horizons, bulk wear) into a statically gated
+// invariant: functions annotated //twl:hotpath have the compiler's escape
+// analysis output (go build -gcflags=-m) captured, and every heap
+// allocation the compiler reports inside such a function is diffed against
+// the committed twlint.budget file. A new allocation in a hot path fails
+// `make lint` instead of silently costing ~25ns per write in a loop that
+// runs 10^8 times per lifetime.
+//
+// The budget file records one block per annotated function —
+//
+//	<import-path> <func> <alloc-count>
+//		<escape message>        (one indented line per allocation)
+//
+// keyed by message text, not source position, so unrelated edits that only
+// shift line numbers do not churn the file. Regenerate with
+// `twlint -update-budget` (or `make budget`, which also fails when
+// regeneration changes the committed file).
+
+// hotFunc is one //twl:hotpath-annotated function: where it lives and the
+// line range its escape diagnostics attribute to.
+type hotFunc struct {
+	pkg        string // import path
+	name       string // receiver-qualified: "(*Device).WriteN" or "RunLifetime"
+	file       string // absolute path of the declaring file
+	start, end int    // inclusive line range of the declaration
+	dir        string // package directory (the go build argument)
+	pos        string // "file:line:col" of the declaration, for diagnostics
+}
+
+// hotName renders the receiver-qualified function name.
+func hotName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := ""
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			recv = "(*" + id.Name + ")"
+		}
+	case *ast.Ident:
+		recv = "(" + t.Name + ")"
+	}
+	if recv == "" {
+		return fd.Name.Name
+	}
+	return recv + "." + fd.Name.Name
+}
+
+// isHotpath reports whether the function declaration carries the
+// //twl:hotpath directive in its doc comment (directive position only, like
+// //go: comments — prose mentions do not count).
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//twl:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// findHotpathFuncs scans the loaded packages for //twl:hotpath functions.
+func findHotpathFuncs(pkgs []*Package) []hotFunc {
+	var hot []hotFunc
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if testSupport(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !isHotpath(fd) {
+					continue
+				}
+				start := p.Fset.Position(fd.Pos())
+				end := p.Fset.Position(fd.End())
+				abs, err := filepath.Abs(start.Filename)
+				if err != nil {
+					abs = start.Filename
+				}
+				hot = append(hot, hotFunc{
+					pkg:   p.Path,
+					name:  hotName(fd),
+					file:  abs,
+					start: start.Line,
+					end:   end.Line,
+					dir:   p.Dir,
+					pos:   fmt.Sprintf("%s:%d:%d", relPath(start.Filename), start.Line, start.Column),
+				})
+			}
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].pkg != hot[j].pkg {
+			return hot[i].pkg < hot[j].pkg
+		}
+		return hot[i].name < hot[j].name
+	})
+	return hot
+}
+
+// escapeDiag is one parsed escape-analysis line: an allocation the compiler
+// placed on the heap.
+type escapeDiag struct {
+	file      string // absolute path
+	line, col int
+	msg       string
+}
+
+// heapMessage reports whether an escape-analysis message describes a heap
+// allocation (as opposed to inlining decisions, "does not escape" results,
+// or parameter leak summaries).
+func heapMessage(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// collectEscapes compiles the given package directories with -gcflags=-m
+// and parses the heap-allocation diagnostics. The go build cache replays
+// compiler diagnostics for unchanged packages, so repeated runs are cheap.
+// dirs are passed verbatim as go build arguments; relative positions in the
+// output are resolved against the working directory.
+func collectEscapes(dirs []string) ([]escapeDiag, error) {
+	if len(dirs) == 0 {
+		return nil, nil
+	}
+	args := append([]string{"build", "-gcflags=-m"}, dirs...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var out []escapeDiag
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, ok := parseEscapeLine(line)
+		if !ok || !heapMessage(d.msg) {
+			continue
+		}
+		if !filepath.IsAbs(d.file) {
+			d.file = filepath.Join(wd, d.file)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseEscapeLine splits "file.go:12:34: message".
+func parseEscapeLine(line string) (escapeDiag, bool) {
+	var d escapeDiag
+	rest := line
+	for i := 0; i < 2; i++ { // message may itself contain ": "
+		idx := strings.Index(rest, ".go:")
+		if idx < 0 {
+			return d, false
+		}
+		rest = rest[idx+len(".go:"):]
+		break
+	}
+	fileEnd := strings.Index(line, ".go:") + len(".go")
+	d.file = line[:fileEnd]
+	parts := strings.SplitN(line[fileEnd+1:], ":", 3)
+	if len(parts) != 3 {
+		return d, false
+	}
+	ln, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return d, false
+	}
+	d.line, d.col = ln, col
+	d.msg = strings.TrimSpace(parts[2])
+	return d, true
+}
+
+// budgetKey identifies one hotpath function in the budget file.
+func budgetKey(pkg, name string) string { return pkg + " " + name }
+
+// observedBudget attributes the escape diagnostics to the hotpath
+// functions, returning the per-function sorted allocation messages (every
+// hot function gets an entry, possibly empty) and, alongside, the source
+// position of each allocation for precise diagnostics.
+func observedBudget(hot []hotFunc, escapes []escapeDiag) (map[string][]string, map[string]string) {
+	obs := make(map[string][]string, len(hot))
+	pos := map[string]string{}
+	for _, h := range hot {
+		key := budgetKey(h.pkg, h.name)
+		if _, ok := obs[key]; !ok {
+			obs[key] = nil
+		}
+		for _, e := range escapes {
+			if e.file != h.file || e.line < h.start || e.line > h.end {
+				continue
+			}
+			obs[key] = append(obs[key], e.msg)
+			if _, ok := pos[key+" "+e.msg]; !ok {
+				pos[key+" "+e.msg] = fmt.Sprintf("%s:%d:%d", relPath(e.file), e.line, e.col)
+			}
+		}
+		sort.Strings(obs[key])
+	}
+	return obs, pos
+}
+
+// formatBudget renders the budget file deterministically.
+func formatBudget(hot []hotFunc, obs map[string][]string) string {
+	var b strings.Builder
+	b.WriteString(`# twlint.budget — the hotpath allocation budget (DESIGN.md "Static
+# contracts"). One block per //twl:hotpath function:
+#
+#	<import-path> <function> <heap-allocation-count>
+#		<escape-analysis message>   (one indented line per allocation)
+#
+# Allocations are keyed by escape-analysis message, not source position, so
+# line-number churn does not touch this file. Regenerate with make budget
+# (or: go run ./cmd/twlint -update-budget ./...); make lint fails when the
+# compiler reports an allocation this file does not record.
+`)
+	for _, h := range hot {
+		key := budgetKey(h.pkg, h.name)
+		msgs := obs[key]
+		fmt.Fprintf(&b, "%s %s %d\n", h.pkg, h.name, len(msgs))
+		for _, m := range msgs {
+			fmt.Fprintf(&b, "\t%s\n", m)
+		}
+	}
+	return b.String()
+}
+
+// parseBudget reads a budget file into the same shape observedBudget
+// produces.
+func parseBudget(path string) (map[string][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read side: Close cannot lose data
+	want := map[string][]string{}
+	sc := bufio.NewScanner(f)
+	cur := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "#") || strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "\t") {
+			if cur == "" {
+				return nil, fmt.Errorf("%s:%d: allocation line before any function line", path, line)
+			}
+			want[cur] = append(want[cur], strings.TrimPrefix(text, "\t"))
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want \"pkg func count\", got %q", path, line, text)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, line, fields[2])
+		}
+		cur = fields[0] + " " + fields[1]
+		want[cur] = make([]string, 0, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return want, nil
+}
+
+// CheckBudget runs the hotpath allocation-budget phase over the loaded
+// packages: find the //twl:hotpath functions, capture the escape analysis
+// of their packages, and diff the observed heap allocations against the
+// budget file at path. With update set, the file is rewritten from the
+// observation instead and no diff diagnostics are produced.
+func CheckBudget(pkgs []*Package, path string, update bool) ([]Diagnostic, error) {
+	hot := findHotpathFuncs(pkgs)
+	dirSet := map[string]bool{}
+	dirs := make([]string, 0, 8)
+	for _, h := range hot {
+		dir := h.dir
+		if !filepath.IsAbs(dir) && !strings.HasPrefix(dir, "./") {
+			// A bare relative path would be taken as an import path by the
+			// go tool; anchor it as a filesystem path.
+			dir = "./" + dir
+		}
+		if !dirSet[dir] {
+			dirSet[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	escapes, err := collectEscapes(dirs)
+	if err != nil {
+		return nil, err
+	}
+	obs, obsPos := observedBudget(hot, escapes)
+	if update {
+		if err := os.WriteFile(path, []byte(formatBudget(hot, obs)), 0o644); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	want, err := parseBudget(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading hotpath budget: %w (run -update-budget to create it)", err)
+	}
+	return diffBudget(hot, obs, obsPos, want, path), nil
+}
+
+// diffBudget compares the observed allocations against the committed
+// budget, most specific position first.
+func diffBudget(hot []hotFunc, obs map[string][]string, obsPos map[string]string, want map[string][]string, path string) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, h := range hot {
+		key := budgetKey(h.pkg, h.name)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		wantMsgs, inBudget := want[key]
+		if !inBudget {
+			diags = append(diags, Diagnostic{
+				Analyzer: "hotpath", Package: h.pkg, Pos: h.pos,
+				Message: fmt.Sprintf("//twl:hotpath function %s is not recorded in %s; run make budget (twlint -update-budget) to admit it", h.name, relPath(path)),
+			})
+			continue
+		}
+		diags = append(diags, diffAllocs(h, key, obs[key], wantMsgs, obsPos, path)...)
+	}
+	// Budget entries whose function no longer exists (renamed, annotation
+	// dropped) are stale and must be pruned so the file stays the exact
+	// inventory of hot paths.
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		fields := strings.Fields(k)
+		pkg := ""
+		if len(fields) > 0 {
+			pkg = fields[0]
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "hotpath", Package: pkg, Pos: relPath(path) + ":1:1",
+			Message: fmt.Sprintf("budget entry %q matches no //twl:hotpath function; run make budget to prune it", k),
+		})
+	}
+	return diags
+}
+
+// diffAllocs diffs one function's observed allocation multiset against the
+// budgeted one.
+func diffAllocs(h hotFunc, key string, got, wantMsgs []string, obsPos map[string]string, path string) []Diagnostic {
+	count := func(msgs []string) map[string]int {
+		m := map[string]int{}
+		for _, s := range msgs {
+			m[s]++
+		}
+		return m
+	}
+	gotN, wantN := count(got), count(wantMsgs)
+	var diags []Diagnostic
+	reported := map[string]bool{}
+	for _, msg := range got {
+		if reported[msg] {
+			continue
+		}
+		reported[msg] = true
+		if gotN[msg] > wantN[msg] {
+			pos := obsPos[key+" "+msg]
+			if pos == "" {
+				pos = h.pos
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "hotpath", Package: h.pkg, Pos: pos,
+				Message: fmt.Sprintf("new heap allocation in //twl:hotpath function %s: %q (%d observed, budget allows %d); remove the allocation or re-budget with make budget", h.name, msg, gotN[msg], wantN[msg]),
+			})
+		}
+	}
+	wantSorted := append([]string(nil), wantMsgs...)
+	sort.Strings(wantSorted)
+	for _, msg := range wantSorted {
+		if reported[msg] {
+			continue
+		}
+		reported[msg] = true
+		if wantN[msg] > gotN[msg] {
+			diags = append(diags, Diagnostic{
+				Analyzer: "hotpath", Package: h.pkg, Pos: h.pos,
+				Message: fmt.Sprintf("budgeted allocation in %s no longer observed: %q; run make budget to tighten %s", h.name, msg, relPath(path)),
+			})
+		}
+	}
+	return diags
+}

@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"go/ast"
@@ -15,14 +15,14 @@ import (
 // printing to stdout, fmt.Fprint* to os.Stdout/os.Stderr, and writes into
 // in-memory sinks (strings.Builder, bytes.Buffer) whose Write methods are
 // documented never to fail.
-var costAnalyzer = &analyzer{
-	name: "cost",
-	doc:  "forbids discarding returned wl.Cost values and errors outside tests",
+var costAnalyzer = &Analyzer{
+	Name: "cost",
+	Doc:  "forbids discarding returned wl.Cost values and errors outside tests",
 }
 
-func init() { costAnalyzer.run = runCost }
+func init() { costAnalyzer.Run = runCost }
 
-func runCost(p *Package, w *world) []Diagnostic {
+func runCost(p *Package, w *World) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		if testSupport(f) {

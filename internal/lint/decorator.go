@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"go/ast"
@@ -19,18 +19,18 @@ import (
 // never sees the decorator's invariants). One diagnostic per missing
 // interface; a decorator that genuinely wants pass-through for one
 // capability states so in twlint.allow.
-var decoratorAnalyzer = &analyzer{
-	name: "decorator",
-	doc:  "a type embedding wl.Scheme that overrides Write must implement every optional scheme interface",
+var decoratorAnalyzer = &Analyzer{
+	Name: "decorator",
+	Doc:  "a type embedding wl.Scheme that overrides Write must implement every optional scheme interface",
 }
 
-func init() { decoratorAnalyzer.run = runDecorator }
+func init() { decoratorAnalyzer.Run = runDecorator }
 
 // optionalIfaces are the capability interfaces Wrap forwards; a decorator
 // must intercept each one.
 var optionalIfaces = []string{"Checker", "Snapshotter", "RunWriter", "SweepWriter"}
 
-func runDecorator(p *Package, w *world) []Diagnostic {
+func runDecorator(p *Package, w *World) []Diagnostic {
 	if !internalScope(p.Path) {
 		return nil
 	}

@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"go/ast"
@@ -25,14 +25,14 @@ import (
 //     sending on a channel. Writes to outer maps indexed by the loop key
 //     stay order-independent and pass; so do commutative op-assignments
 //     (x += v).
-var determinismAnalyzer = &analyzer{
-	name: "determinism",
-	doc:  "forbids wall clocks, global math/rand, and map-iteration-order leaks in simulation packages",
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbids wall clocks, global math/rand, and map-iteration-order leaks in simulation packages",
 }
 
-func init() { determinismAnalyzer.run = runDeterminism }
+func init() { determinismAnalyzer.Run = runDeterminism }
 
-func runDeterminism(p *Package, w *world) []Diagnostic {
+func runDeterminism(p *Package, w *World) []Diagnostic {
 	if !internalScope(p.Path) {
 		return nil
 	}
@@ -59,7 +59,7 @@ func runDeterminism(p *Package, w *world) []Diagnostic {
 }
 
 // clockAndRandCalls flags wall-clock reads and global math/rand draws.
-func clockAndRandCalls(diags []Diagnostic, p *Package, w *world, call *ast.CallExpr) []Diagnostic {
+func clockAndRandCalls(diags []Diagnostic, p *Package, w *World, call *ast.CallExpr) []Diagnostic {
 	obj := calleeObj(p, call)
 	if obj == nil {
 		return diags
@@ -84,7 +84,7 @@ func clockAndRandCalls(diags []Diagnostic, p *Package, w *world, call *ast.CallE
 
 // mapRangeBody walks the body of a range-over-map looking for statements
 // that leak the (randomized) iteration order into results.
-func mapRangeBody(diags []Diagnostic, p *Package, w *world, f *ast.File, rng *ast.RangeStmt) []Diagnostic {
+func mapRangeBody(diags []Diagnostic, p *Package, w *World, f *ast.File, rng *ast.RangeStmt) []Diagnostic {
 	body := rng.Body
 	loopVars := map[types.Object]bool{}
 	for _, e := range []ast.Expr{rng.Key, rng.Value} {
@@ -192,7 +192,7 @@ func mapRangeBody(diags []Diagnostic, p *Package, w *world, f *ast.File, rng *as
 }
 
 // mapRangeAssign classifies one assignment inside a map-range body.
-func mapRangeAssign(diags []Diagnostic, p *Package, w *world, f *ast.File, rng *ast.RangeStmt,
+func mapRangeAssign(diags []Diagnostic, p *Package, w *World, f *ast.File, rng *ast.RangeStmt,
 	as *ast.AssignStmt, cond bool, outer, keyIndexed func(ast.Expr) bool) []Diagnostic {
 	for i, lhs := range as.Lhs {
 		if !outer(lhs) || keyIndexed(lhs) {

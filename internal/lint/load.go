@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"bytes"
@@ -42,17 +42,21 @@ func testSupport(file *ast.File) bool {
 	return false
 }
 
-// loader parses and type-checks packages. All packages share one FileSet and
+// Loader parses and type-checks packages. All packages share one FileSet and
 // one source importer, so identical imports resolve to identical type
 // objects (the importer caches) and cross-package type comparisons work.
-type loader struct {
+// Loading is sequential — the shared importer is not safe for concurrent
+// use — while the analysis phase over the loaded packages runs in parallel
+// (see Run).
+type Loader struct {
 	fset *token.FileSet
 	imp  types.Importer
 }
 
-func newLoader() *loader {
+// NewLoader returns a loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -89,7 +93,7 @@ func list(patterns []string) ([]listedPackage, error) {
 
 // Load lists, parses and type-checks the packages matching patterns, in a
 // deterministic order.
-func (l *loader) Load(patterns []string) ([]*Package, error) {
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
 	metas, err := list(patterns)
 	if err != nil {
 		return nil, err
@@ -116,7 +120,7 @@ func (l *loader) Load(patterns []string) ([]*Package, error) {
 // LoadDir parses and type-checks every .go file directly inside dir as one
 // package under the synthetic import path. Fixture packages under testdata/
 // (invisible to go list by design) load through this path.
-func (l *loader) LoadDir(dir, path string) (*Package, error) {
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
 		return nil, err
@@ -129,7 +133,7 @@ func (l *loader) LoadDir(dir, path string) (*Package, error) {
 }
 
 // check parses the named files and runs the type checker over them.
-func (l *loader) check(path, dir string, filenames []string) (*Package, error) {
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
 	files := make([]*ast.File, 0, len(filenames))
 	for _, name := range filenames {
 		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)

@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"fmt"
@@ -22,14 +22,14 @@ import (
 //     functions must not also be read or written as a plain variable in
 //     the same package — the plain access tears under the race detector
 //     and on weakly ordered hardware.
-var locksAnalyzer = &analyzer{
-	name: "locks",
-	doc:  "forbids by-value copies of sync/atomic-bearing structs and mixed atomic/plain field access",
+var locksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  "forbids by-value copies of sync/atomic-bearing structs and mixed atomic/plain field access",
 }
 
-func init() { locksAnalyzer.run = runLocks }
+func init() { locksAnalyzer.Run = runLocks }
 
-func runLocks(p *Package, w *world) []Diagnostic {
+func runLocks(p *Package, w *World) []Diagnostic {
 	lc := &lockChecker{cache: map[types.Type]string{}}
 	var diags []Diagnostic
 	for _, f := range p.Files {
@@ -111,7 +111,7 @@ func copying(e ast.Expr) bool {
 }
 
 // copies walks one file for rule 1.
-func (lc *lockChecker) copies(p *Package, w *world, f *ast.File) []Diagnostic {
+func (lc *lockChecker) copies(p *Package, w *World, f *ast.File) []Diagnostic {
 	var diags []Diagnostic
 	flagValue := func(pos interface{ Pos() token.Pos }, what string, t types.Type) {
 		if t == nil {
@@ -179,7 +179,7 @@ func (lc *lockChecker) copies(p *Package, w *world, f *ast.File) []Diagnostic {
 
 // mixedAtomic implements rule 2 over the whole package: a field passed by
 // address to sync/atomic functions must have no plain reads or writes.
-func mixedAtomic(p *Package, w *world) []Diagnostic {
+func mixedAtomic(p *Package, w *World) []Diagnostic {
 	atomicUse := map[*types.Var]token.Pos{}
 	plainUse := map[*types.Var]token.Pos{}
 	atomicArgs := map[ast.Expr]bool{}
@@ -220,11 +220,16 @@ func mixedAtomic(p *Package, w *world) []Diagnostic {
 			return true
 		})
 	}
+	// Second pass: report the first plain use of each atomically accessed
+	// field, in AST traversal order. Findings are appended during the walk
+	// (files sorted, positions ascending) rather than collected into a map
+	// and ranged — this package is itself subject to the determinism
+	// contract it enforces.
+	var diags []Diagnostic
 	for _, f := range p.Files {
 		if testSupport(f) {
 			continue
 		}
-		// Second pass: plain uses of the same fields.
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok || atomicArgs[ast.Expr(sel)] {
@@ -239,15 +244,11 @@ func mixedAtomic(p *Package, w *world) []Diagnostic {
 			}
 			if _, seen := plainUse[v]; !seen {
 				plainUse[v] = sel.Pos()
+				diags = report(diags, p, w, locksAnalyzer, sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package; plain access races with the atomic path", v.Name())
 			}
 			return true
 		})
-	}
-
-	var diags []Diagnostic
-	for v, pos := range plainUse {
-		diags = report(diags, p, w, locksAnalyzer, pos,
-			"field %s is accessed with sync/atomic elsewhere in this package; plain access races with the atomic path", v.Name())
 	}
 	return diags
 }

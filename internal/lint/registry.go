@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"go/ast"
@@ -17,14 +17,14 @@ import (
 //     the fast-forward engine's shortcuts are only trusted because paranoid
 //     mode and the differential tests can invariant-check them
 //     (DESIGN.md "Run-length fast-forward").
-var registryAnalyzer = &analyzer{
-	name: "registry",
-	doc:  "schemes must be registered; bulk writers must be invariant-checkable",
+var registryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc:  "schemes must be registered; bulk writers must be invariant-checkable",
 }
 
-func init() { registryAnalyzer.run = runRegistry }
+func init() { registryAnalyzer.Run = runRegistry }
 
-func runRegistry(p *Package, w *world) []Diagnostic {
+func runRegistry(p *Package, w *World) []Diagnostic {
 	wlPkg := w.wlContract(p)
 	scheme := lookupInterface(wlPkg, "Scheme")
 	checker := lookupInterface(wlPkg, "Checker")

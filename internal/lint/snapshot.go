@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"go/ast"
@@ -21,14 +21,14 @@ import (
 // re-checked: the promoted method cannot see the outer type's fields, so
 // the outer type either has no state of its own or must declare its own
 // Snapshot.
-var snapshotAnalyzer = &analyzer{
-	name: "snapshot",
-	doc:  "every field of a persisted type must be written by Snapshot or carry a snap: comment",
+var snapshotAnalyzer = &Analyzer{
+	Name: "snapshot",
+	Doc:  "every field of a persisted type must be written by Snapshot or carry a snap: comment",
 }
 
-func init() { snapshotAnalyzer.run = runSnapshot }
+func init() { snapshotAnalyzer.Run = runSnapshot }
 
-func runSnapshot(p *Package, w *world) []Diagnostic {
+func runSnapshot(p *Package, w *World) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		if testSupport(f) {
@@ -150,7 +150,7 @@ func methodDecls(p *Package, named *types.Named) map[types.Object]*ast.FuncDecl 
 // checkPersistedStruct walks the struct declaration's fields in source form
 // (the comments live on the AST) and reports every field that is neither
 // covered by Snapshot nor annotated with a snap: comment.
-func checkPersistedStruct(diags []Diagnostic, p *Package, w *world, named *types.Named, st *types.Struct, covered map[types.Object]bool) []Diagnostic {
+func checkPersistedStruct(diags []Diagnostic, p *Package, w *World, named *types.Named, st *types.Struct, covered map[types.Object]bool) []Diagnostic {
 	astStruct := structDecl(p, named)
 	if astStruct == nil {
 		return diags // declared via a type alias or in another package

@@ -1,0 +1,32 @@
+// Package fixhot is the allocation-budget fixture: HotAlloc carries a heap
+// allocation its committed budget (testdata/fixhot.budget) does not record,
+// standing in for an allocation freshly injected into a hot path.
+package fixhot
+
+// HotClean is a hot path with no heap allocations, matching its budget
+// entry of zero.
+//
+//twl:hotpath
+func HotClean(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// HotAlloc allocates on every call — a variable-sized make always lands on
+// the heap — while its budget entry still says zero.
+//
+//twl:hotpath
+func HotAlloc(n int) int {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	s := 0
+	for _, b := range buf {
+		s += int(b)
+	}
+	return s
+}

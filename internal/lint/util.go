@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"go/ast"
@@ -44,11 +44,11 @@ func declName(p *Package, pos token.Pos) string {
 
 // report appends a finding unless the allowlist sanctions the enclosing
 // declaration (or the whole package) for this analyzer.
-func report(diags []Diagnostic, p *Package, w *world, a *analyzer, pos token.Pos, format string, args ...any) []Diagnostic {
-	if w.allow.Allows(a.name, p.Path, declName(p, pos)) {
+func report(diags []Diagnostic, p *Package, w *World, a *Analyzer, pos token.Pos, format string, args ...any) []Diagnostic {
+	if w.Allow.Allows(a.Name, p.Path, declName(p, pos)) {
 		return diags
 	}
-	return append(diags, diag(p.Fset, pos, a.name, format, args...))
+	return append(diags, newDiag(p.Fset, pos, p.Path, a.Name, format, args...))
 }
 
 // calleeObj resolves the object a call expression invokes, looking through
@@ -112,4 +112,29 @@ func rootIdent(e ast.Expr) *ast.Ident {
 // twl/internal/.
 func internalScope(path string) bool {
 	return path == "twl" || strings.HasPrefix(path, "twl/internal/")
+}
+
+// lookupInterface fetches a named interface's underlying *types.Interface
+// from pkg.
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// isWLNamed reports whether t is the named type wl.<name>, matching by path
+// and name so it holds across independently checked instances of wl.
+func isWLNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == wlPath && obj.Name() == name
 }

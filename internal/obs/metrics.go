@@ -241,9 +241,9 @@ func seriesKey(name string, labels []Label) string {
 // Counter/Gauge/Histogram handles are lock-free.
 type Registry struct {
 	mu      sync.Mutex
-	ordered []*metric
-	index   map[string]*metric
-	help    map[string]string
+	ordered []*metric          //twl:guardedby mu
+	index   map[string]*metric //twl:guardedby mu
+	help    map[string]string  //twl:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -28,10 +28,10 @@ func F(key string, value any) Field { return Field{Key: key, Value: value} }
 // reports the first failure, so hot loops need not check every call.
 type Tracer struct {
 	mu    sync.Mutex
-	w     io.Writer
-	every uint64
-	seq   uint64
-	err   error
+	w     io.Writer // set once at construction; writes happen under mu
+	every uint64    // immutable after construction
+	seq   uint64    //twl:guardedby mu
+	err   error     //twl:guardedby mu
 }
 
 // DefaultTraceEvery is the progress cadence used when the caller passes
@@ -109,7 +109,10 @@ func (t *Tracer) Emit(event string, fields ...Field) {
 	}
 }
 
-// appendJSON marshals v onto buf, latching encoding errors.
+// appendJSON marshals v onto buf, latching encoding errors. Called from
+// Emit with the tracer lock held.
+//
+//twl:locked mu
 func (t *Tracer) appendJSON(buf *bytes.Buffer, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {

@@ -328,6 +328,8 @@ func (d *Device) Write(pp int, tag uint64) bool {
 // returns the reduced count; the caller sees applied < n and must not count
 // the unapplied remainder. Writes to an already-failed page keep counting
 // wear, matching Write.
+//
+//twl:hotpath
 func (d *Device) WriteN(pp int, tag uint64, n int) int {
 	if n <= 0 {
 		return 0
@@ -354,6 +356,8 @@ func (d *Device) WriteN(pp int, tag uint64, n int) int {
 // count at (and including) the failing write, and writes to an
 // already-failed page keep counting. The payload is untouched, matching n
 // sequential Write(pp, Peek(pp)) calls.
+//
+//twl:hotpath
 func (d *Device) RewriteN(pp int, n int) int {
 	if n <= 0 {
 		return 0
@@ -374,6 +378,8 @@ func (d *Device) RewriteN(pp int, n int) int {
 // pp0, pp0+1, …, carrying tags tag, tag+1, … . It stops after the first
 // write that wears a page out (that write is applied and the failure is
 // marked, matching Write) and returns how many writes were applied.
+//
+//twl:hotpath
 func (d *Device) WriteRange(pp0 int, tag uint64, n int) int {
 	if n <= 0 {
 		return 0
@@ -428,6 +434,8 @@ func (d *Device) writeRangeSlow(pp0 int, tag uint64, n int) int {
 // across the address space fill a scratch vector and hand it here, so the
 // wear/payload/endurance slice headers and the device write counter stay in
 // registers instead of being re-touched per write.
+//
+//twl:hotpath
 func (d *Device) WriteSeq(pps []int, tag uint64) int {
 	wear := d.wear
 	end := d.endurance[:len(wear)]

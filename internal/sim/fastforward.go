@@ -123,6 +123,8 @@ func (l *lifetimeState) perRequestBare(src Source) error {
 // bulk. Event writes (absorbed == 0) and schemes without the interface are
 // served through the identical per-request accounting as perRequestLoop, so
 // results are bit-identical either way.
+//
+//twl:hotpath
 func (l *lifetimeState) bulkLoop(next func(attack.Feedback) (int, bool, int), sweep bool) error {
 	var runWriter wl.RunWriter
 	var sweepWriter wl.SweepWriter

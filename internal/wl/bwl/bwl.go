@@ -285,6 +285,8 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 // advances, and the device writes (WriteN clamps at a mid-run failure, in
 // which case every side effect uses the clamped count, matching a per-write
 // path that stops at the failing write).
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	key := uint64(la)
 	if s.epochs >= silenceEpochs {

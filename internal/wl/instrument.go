@@ -74,6 +74,8 @@ func (w *instrumented) record(cost Cost) {
 // prefix as `absorbed` identical per-request writes. Absorbed writes share
 // one unblocked cost by the RunWriter contract, so a single counter add and
 // one ObserveN leave the metrics bit-identical to the per-request path.
+//
+//twl:hotpath
 func (w *instrumented) WriteRun(la int, tag uint64, n int) (Cost, int) {
 	cost, absorbed := w.Scheme.(RunWriter).WriteRun(la, tag, n)
 	w.recordBulk(cost, absorbed, w.writes)
@@ -82,6 +84,8 @@ func (w *instrumented) WriteRun(la int, tag uint64, n int) (Cost, int) {
 
 // WriteSweep forwards the consecutive-address fast path; accounting matches
 // WriteRun.
+//
+//twl:hotpath
 func (w *instrumented) WriteSweep(la int, tag uint64, n int) (Cost, int) {
 	cost, absorbed := w.Scheme.(SweepWriter).WriteSweep(la, tag, n)
 	w.recordBulk(cost, absorbed, w.writes)

@@ -35,6 +35,8 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 
 // WriteRun implements wl.RunWriter. NOWL has no internal events, so the
 // whole run is absorbed in one bulk device write (modulo mid-run failure).
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	applied := s.dev.WriteN(la, tag, n)
 	s.stats.DemandWrites += uint64(applied)
@@ -43,6 +45,8 @@ func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 
 // WriteSweep implements wl.SweepWriter: the identity mapping turns a logical
 // sweep into a physical range write.
+//
+//twl:hotpath
 func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	applied := s.dev.WriteRange(la, tag, n)
 	s.stats.DemandWrites += uint64(applied)

@@ -161,6 +161,8 @@ func eventFreeCost() wl.Cost {
 // endurance crossing), RewriteN on the partner of a hosted page (clamping
 // at the partner's), or WriteN on the dead page itself once capacity is
 // exhausted.
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	if n <= 0 {
 		return wl.Cost{}, 0
@@ -201,6 +203,8 @@ func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // endurance crossing. Once any page is dead the per-write path takes over
 // (absorbed == 0), since a sweep would interleave healthy and dead-page
 // writes of differing behavior.
+//
+//twl:hotpath
 func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	if n <= 0 || !s.dev.MinRemainingAtLeast(1) {
 		return wl.Cost{}, 0

@@ -273,6 +273,8 @@ func (s *Scheme) globalHorizon(n int) int {
 // detector window, the region's gap counter and the shuffle counter. The
 // alarm is constant between window closes, which is what makes interval()
 // and the shuffle-counter branch loop-invariant.
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	k := s.globalHorizon(n)
 	r, slot := s.locate(la)
@@ -300,6 +302,8 @@ func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // exact). Each touched region contributes its own gap-move horizon: the
 // sweep visits a region's addresses consecutively, so the region's write
 // count is its overlap with the absorbed prefix.
+//
+//twl:hotpath
 func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	k := s.globalHorizon(n)
 	iv := s.interval()
@@ -325,10 +329,7 @@ func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	if k <= 0 {
 		return wl.Cost{}, 0
 	}
-	if cap(s.scratch) < k {
-		s.scratch = make([]int, k)
-	}
-	buf := s.scratch[:k]
+	buf := wl.Scratch(&s.scratch, k)
 	for i := range buf {
 		r, slot := s.locate(la + i)
 		buf[i] = s.rt.Phys(r.base + slot)

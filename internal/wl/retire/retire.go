@@ -90,6 +90,8 @@ func (d *decorator) Write(la int, tag uint64) wl.Cost {
 // the run at the failing write (RunWriter contract), so draining the log
 // after the call retires the page at exactly the same demand-write count
 // as the per-request path — the capacity curve is bit-identical.
+//
+//twl:hotpath
 func (d *decorator) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	cost, absorbed := d.Scheme.(wl.RunWriter).WriteRun(la, tag, n)
 	if d.dev.FailedPages() > d.handled {
@@ -100,6 +102,8 @@ func (d *decorator) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 
 // WriteSweep forwards the consecutive-address fast path; failure handling
 // matches WriteRun.
+//
+//twl:hotpath
 func (d *decorator) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	cost, absorbed := d.Scheme.(wl.SweepWriter).WriteSweep(la, tag, n)
 	if d.dev.FailedPages() > d.handled {

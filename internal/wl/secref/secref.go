@@ -189,6 +189,8 @@ func (s *Scheme) Write(la int, tag uint64) wl.Cost {
 // and hits one physical page (the mapping is frozen between refresh steps),
 // so the event-free prefix — RefreshInterval − sinceRef − 1 writes — is one
 // bulk device write.
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	r, _ := s.locate(la)
 	k := s.cfg.RefreshInterval - r.sinceRef - 1
@@ -209,6 +211,8 @@ func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // event-free budget; the physical addresses come straight from the composed
 // la → pa cache, which is contiguous in la, so the whole batch is one
 // gather-write over a cache slice.
+//
+//twl:hotpath
 func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	r, o := s.locate(la)
 	k := s.cfg.RefreshInterval - r.sinceRef - 1

@@ -179,6 +179,8 @@ func (s *TwoLevel) Write(la int, tag uint64) wl.Cost {
 // physical page under the frozen two-level mapping, and the event-free
 // budget is the tighter of the inner region's and the outer level's
 // distances to their next refresh steps.
+//
+//twl:hotpath
 func (s *TwoLevel) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	pa := s.composed[la]
 	ri := pa >> s.regionShift
@@ -208,6 +210,8 @@ func (s *TwoLevel) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // and is applied with one gather-write; if the device fails mid-batch, the
 // inner counters of the unapplied suffix are rolled back so scheme state
 // matches the sequential semantics exactly.
+//
+//twl:hotpath
 func (s *TwoLevel) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	cost := wl.Cost{DeviceWrites: 1, ExtraCycles: wl.ControlCycles + 2*wl.TableCycles}
 	if ko := s.cfg.OuterInterval - s.sinceOuter - 1; n > ko {

@@ -146,6 +146,8 @@ func (s *Scheme) pureWrites() int {
 // WriteRun implements wl.RunWriter: the event-free prefix of a same-address
 // run maps to one physical page (the remap table is frozen between gap
 // moves), so it collapses into a single bulk device write.
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	k := s.pureWrites()
 	if k <= 0 {
@@ -167,6 +169,8 @@ func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // randomization per write. Addresses are resolved into a scratch batch and
 // applied with one gather-write, keeping the device's hot fields in
 // registers across the batch.
+//
+//twl:hotpath
 func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	k := s.pureWrites()
 	if k <= 0 {
@@ -175,10 +179,7 @@ func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	if n < k {
 		k = n
 	}
-	if cap(s.scratch) < k {
-		s.scratch = make([]int, k)
-	}
-	buf := s.scratch[:k]
+	buf := wl.Scratch(&s.scratch, k)
 	phys := s.rt.PhysTable()
 	ila := s.randomized(la)
 	ra, logical := s.ra, s.logical

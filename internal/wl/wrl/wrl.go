@@ -172,6 +172,8 @@ func (s *Scheme) eventFreeCost() wl.Cost {
 // plus O(1) counter advances. absorbed == 0 means the next write fires the
 // transition (possibly a blocking swap phase); the caller serves it through
 // Write, which runs the transition exactly as the per-write path would.
+//
+//twl:hotpath
 func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 	k := s.horizon(n)
 	if k <= 0 {
@@ -193,15 +195,14 @@ func (s *Scheme) WriteRun(la int, tag uint64, n int) (wl.Cost, int) {
 // batch at the first write that wears a page out; only the applied prefix
 // is accounted (within one sweep the RT bijection keeps physical addresses
 // distinct, so the clamp point is exact).
+//
+//twl:hotpath
 func (s *Scheme) WriteSweep(la int, tag uint64, n int) (wl.Cost, int) {
 	k := s.horizon(n)
 	if k <= 0 {
 		return wl.Cost{}, 0
 	}
-	if cap(s.scratch) < k {
-		s.scratch = make([]int, k)
-	}
-	buf := s.scratch[:k]
+	buf := wl.Scratch(&s.scratch, k)
 	phys := s.rt.PhysTable()
 	for i := range buf {
 		buf[i] = phys[la+i]

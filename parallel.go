@@ -107,6 +107,47 @@ func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) ([]bool, erro
 	return completed, err
 }
 
+// cellDispatch is the shared state of one worker pool: the task cursor and
+// the first-error latch, both confined to mu. The annotations make the
+// confinement machine-checked — the concurrency analyzer rejects any access
+// outside a critical section of mu.
+type cellDispatch struct {
+	mu       sync.Mutex
+	tasks    []cellTask // immutable after construction
+	next     int        //twl:guardedby mu
+	firstErr error      //twl:guardedby mu
+}
+
+// grab hands out the next task index, or reports false when the list is
+// exhausted or a worker has failed (workers stop grabbing after the first
+// error).
+func (d *cellDispatch) grab() (cellTask, int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.firstErr != nil || d.next >= len(d.tasks) {
+		return cellTask{}, 0, false
+	}
+	t, i := d.tasks[d.next], d.next
+	d.next++
+	return t, i, true
+}
+
+// fail latches the first error.
+func (d *cellDispatch) fail(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.firstErr == nil {
+		d.firstErr = err
+	}
+}
+
+// err returns the latched first error, if any.
+func (d *cellDispatch) err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.firstErr
+}
+
 // dispatchCells executes tasks on up to `workers` goroutines. The returned
 // mask records which tasks completed successfully; each slot is written by
 // exactly one worker before wg.Wait, so the caller reads it race-free.
@@ -121,40 +162,19 @@ func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) ([]bool, e
 		}
 		return completed, nil
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	grab := func() (cellTask, int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= len(tasks) {
-			return cellTask{}, 0, false
-		}
-		t, i := tasks[next], next
-		next++
-		return t, i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
+	d := &cellDispatch{tasks: tasks}
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				t, i, ok := grab()
+				t, i, ok := d.grab()
 				if !ok {
 					return
 				}
 				if err := obsv.observe(t); err != nil {
-					fail(err)
+					d.fail(err)
 					return
 				}
 				completed[i] = true
@@ -162,9 +182,7 @@ func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) ([]bool, e
 		}()
 	}
 	wg.Wait()
-	mu.Lock()
-	defer mu.Unlock()
-	return completed, firstErr
+	return completed, d.err()
 }
 
 // countCompleted is a helper for error messages about partial grids.
