@@ -2,7 +2,7 @@
 # analysis (go vet plus the project's own twlint suite), build, the full
 # race-enabled test suite and a single-iteration benchmark smoke (catches
 # bit-rot in the hot-loop benchmarks without spending benchmark time).
-.PHONY: check fmt vet lint budget build test bench benchsmoke fuzzsmoke
+.PHONY: check fmt vet lint budget build test bench benchsmoke bigbench bigbenchsmoke fuzzsmoke
 
 check: fmt vet lint build test benchsmoke
 
@@ -41,14 +41,26 @@ benchsmoke:
 
 # Hot-loop benchmark: full lifetime runs through the fast-forward path vs
 # the per-write path over every registered scheme × attack (repeat, scan and
-# the paper's inconsistent attack), written to BENCH_PR7.json (ns/write and
-# speedup). The benchcmp step then diffs both paths against the committed
-# PR 4 baseline; it reports regressions but is non-fatal here (wall-clock
-# noise across machines is not a failure — the committed trajectory is what
-# reviews judge).
+# the paper's inconsistent attack), plus the per-scheme bytes-per-page
+# footprint audit on both storage widths, written to BENCH_PR9.json. The
+# benchcmp step then diffs both paths and the footprints against the
+# committed PR 7 baseline; it reports regressions but is non-fatal here
+# (wall-clock noise across machines is not a failure — the committed
+# trajectory is what reviews judge; footprint diffs are deterministic).
 bench:
-	go run ./cmd/benchff -out BENCH_PR7.json
-	-go run ./cmd/benchcmp BENCH_PR4.json BENCH_PR7.json
+	go run ./cmd/benchff -out BENCH_PR9.json
+	-go run ./cmd/benchcmp BENCH_PR7.json BENCH_PR9.json
+
+# Full-geometry validation: the paper's 32 GB device (8Mi pages, 4 ranks x
+# 32 banks) against the inconsistent attack, sharded one-per-bank with an
+# exact deterministic merge, at scaled endurance. Completes in minutes;
+# BIGBENCH.json is the committed artifact of record. The smoke variant runs
+# a 65536-page geometry through the identical code path in seconds (CI).
+bigbench:
+	go run ./cmd/bigbench -out BIGBENCH.json
+
+bigbenchsmoke:
+	go run ./cmd/bigbench -pages 65536 -endurance 3000 -out BIGBENCH_CI.json
 
 # Short fuzz pass over every fuzz target (CI runs this; locally useful
 # before touching the trace readers, the Feistel network or the remap table).

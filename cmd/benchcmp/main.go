@@ -9,7 +9,12 @@
 // being grown, so a slowdown there silently erodes the speedups the
 // trajectory records.
 //
-//	go run ./cmd/benchcmp BENCH_PR4.json BENCH_PR7.json
+// When both reports carry benchff's footprint audit, the same threshold
+// additionally gates bytes-per-page per scheme on both storage widths —
+// the layout is deterministic, so any growth is a real regression, not
+// noise.
+//
+//	go run ./cmd/benchcmp BENCH_PR7.json BENCH_PR9.json
 //
 // Exits 1 when any joined configuration regressed beyond -threshold, 2 on
 // usage or read errors. Configurations present in only one report are
@@ -33,27 +38,36 @@ type result struct {
 	FastNs     float64 `json:"fast_ns_per_write"`
 }
 
-type report struct {
-	Results []result `json:"results"`
+// footprint mirrors benchff's per-scheme memory audit. Reports predating
+// the audit have a nil map; the footprint gate only engages when both
+// reports carry it.
+type footprint struct {
+	WideBytesPerPage   float64 `json:"wide_bytes_per_page"`
+	PackedBytesPerPage float64 `json:"packed_bytes_per_page"`
 }
 
-func load(path string) (map[string]result, error) {
+type report struct {
+	Results   []result             `json:"results"`
+	Footprint map[string]footprint `json:"footprint_bytes_per_page"`
+}
+
+func load(path string) (map[string]result, map[string]footprint, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rep report
 	if err := json.Unmarshal(buf, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(rep.Results) == 0 {
-		return nil, fmt.Errorf("%s: no results", path)
+		return nil, nil, fmt.Errorf("%s: no results", path)
 	}
 	out := make(map[string]result, len(rep.Results))
 	for _, r := range rep.Results {
 		out[r.Scheme+"/"+r.Attack] = r
 	}
-	return out, nil
+	return out, rep.Footprint, nil
 }
 
 func main() {
@@ -64,12 +78,12 @@ func main() {
 		os.Exit(2)
 	}
 	oldPath, newPath := flag.Arg(0), flag.Arg(1)
-	oldRes, err := load(oldPath)
+	oldRes, oldFP, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)
 	}
-	newRes, err := load(newPath)
+	newRes, newFP, err := load(newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)
@@ -126,9 +140,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp: no common configurations to compare")
 		os.Exit(2)
 	}
+
+	// Footprint gate: the memory layout is deterministic (no wall-clock
+	// noise), so any growth beyond the threshold on either storage width is
+	// a real layout regression. Absent maps (older reports) skip the gate.
+	fpJoined := 0
+	if len(oldFP) > 0 && len(newFP) > 0 {
+		fpKeys := make([]string, 0, len(oldFP))
+		for k := range oldFP {
+			fpKeys = append(fpKeys, k)
+		}
+		sort.Strings(fpKeys)
+		for _, k := range fpKeys {
+			o := oldFP[k]
+			n, ok := newFP[k]
+			if !ok {
+				continue
+			}
+			fpJoined++
+			for _, axis := range []struct {
+				name     string
+				old, new float64
+			}{
+				{"wide", o.WideBytesPerPage, n.WideBytesPerPage},
+				{"packed", o.PackedBytesPerPage, n.PackedBytesPerPage},
+			} {
+				if axis.old <= 0 {
+					continue
+				}
+				delta := axis.new/axis.old - 1
+				mark := ""
+				if delta > *threshold {
+					mark = "  REGRESSED"
+					regressed = true
+				}
+				fmt.Printf("%-20s %-6s footprint %7.1f -> %7.1f B/page  (%+6.1f%%)%s\n",
+					k, axis.name, axis.old, axis.new, delta*100, mark)
+			}
+		}
+	}
+
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchcmp: a simulation path regressed beyond %.0f%% on at least one configuration\n", *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchcmp: a simulation path or footprint regressed beyond %.0f%% on at least one configuration\n", *threshold*100)
 		os.Exit(1)
+	}
+	if fpJoined > 0 {
+		fmt.Printf("footprints within %.0f%% on all %d common schemes\n", *threshold*100, fpJoined)
 	}
 	fmt.Printf("both paths within %.0f%% on all %d common configurations\n", *threshold*100, joined)
 }

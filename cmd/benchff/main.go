@@ -15,11 +15,18 @@
 // events (the random attack has no run structure to absorb, so it stays off
 // the grid; fast_path_coverage still reports it).
 //
-// The output JSON (BENCH_PR7.json in the repo root) extends the repo's
-// benchmark trajectory (BENCH_PR2.json holds the deterministic-scheme
-// baseline, BENCH_PR4.json the first event-horizon generation):
+// The report also audits memory: for every scheme, the simulated
+// controller's bytes per page (scheme metadata tables plus device state
+// arrays) on wide and on packed storage — the packed-table layouts must
+// prove their win in the committed trajectory, and benchcmp gates against
+// the footprint regressing.
 //
-//	go run ./cmd/benchff -out BENCH_PR7.json
+// The output JSON (BENCH_PR9.json in the repo root) extends the repo's
+// benchmark trajectory (BENCH_PR2.json holds the deterministic-scheme
+// baseline, BENCH_PR4.json the first event-horizon generation,
+// BENCH_PR7.json the closed fast-path gap):
+//
+//	go run ./cmd/benchff -out BENCH_PR9.json
 package main
 
 import (
@@ -67,6 +74,19 @@ type coverage struct {
 	Attacks map[string]bool `json:"attacks"`
 }
 
+// footprint is the per-scheme memory audit: total simulated-controller
+// bytes per page (scheme metadata tables where the scheme itemizes them,
+// plus the device's per-page state arrays), on wide storage and on packed
+// storage. WideOverPacked is the headline packed-table win; schemes that do
+// not itemize their tables (SchemeTables false) still show the device-side
+// saving.
+type footprint struct {
+	SchemeTables       bool    `json:"scheme_tables_reported"`
+	WideBytesPerPage   float64 `json:"wide_bytes_per_page"`
+	PackedBytesPerPage float64 `json:"packed_bytes_per_page"`
+	WideOverPacked     float64 `json:"wide_over_packed"`
+}
+
 type report struct {
 	Bench   string `json:"bench"`
 	Command string `json:"command"`
@@ -76,14 +96,15 @@ type report struct {
 		SigmaFraction float64 `json:"sigma_fraction"`
 		Seed          uint64  `json:"seed"`
 	} `json:"system"`
-	Reps     int                 `json:"reps"`
-	Coverage map[string]coverage `json:"fast_path_coverage"`
-	Results  []result            `json:"results"`
-	Geomean  map[string]float64  `json:"geomean_speedup_fast_path_schemes"`
+	Reps      int                  `json:"reps"`
+	Coverage  map[string]coverage  `json:"fast_path_coverage"`
+	Footprint map[string]footprint `json:"footprint_bytes_per_page"`
+	Results   []result             `json:"results"`
+	Geomean   map[string]float64   `json:"geomean_speedup_fast_path_schemes"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path (empty: stdout only)")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path (empty: stdout only)")
 	reps := flag.Int("reps", 10, "timed repetitions per configuration (best-of)")
 	seed := flag.Uint64("seed", 1, "system and scheme seed")
 	schemes := flag.String("schemes", "", "comma-separated scheme names (default: every registered scheme)")
@@ -107,6 +128,7 @@ func main() {
 	rep.System.Seed = sys.Seed
 	rep.Reps = *reps
 	rep.Coverage = map[string]coverage{}
+	rep.Footprint = map[string]footprint{}
 	rep.Geomean = map[string]float64{}
 
 	benched := map[string]bool{}
@@ -117,6 +139,14 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Coverage[name] = cov
+		fp, err := probeFootprint(sys, name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchff: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Footprint[name] = fp
+		fmt.Printf("%-10s footprint %7.1f B/page wide, %7.1f B/page packed (%.2fx)\n",
+			name, fp.WideBytesPerPage, fp.PackedBytesPerPage, fp.WideOverPacked)
 		benched[name] = true
 	}
 
@@ -211,6 +241,44 @@ func probeCoverage(sys twl.SystemConfig, scheme string, seed uint64) (coverage, 
 		"inconsistent": cov.Run,
 	}
 	return cov, nil
+}
+
+// stackBytes builds the scheme over a fresh device and sums its reported
+// table bytes (0 for schemes that do not itemize) with the device's per-page
+// state arrays.
+func stackBytes(sys twl.SystemConfig, scheme string, seed uint64) (int64, bool, error) {
+	dev, err := sys.NewDevice()
+	if err != nil {
+		return 0, false, err
+	}
+	s, err := twl.NewScheme(scheme, dev, seed)
+	if err != nil {
+		return 0, false, err
+	}
+	tables, reported := twl.TableBytesOf(s)
+	return tables + dev.Footprint().Total(), reported, nil
+}
+
+// probeFootprint audits one scheme's bytes-per-page on wide and packed
+// storage.
+func probeFootprint(sys twl.SystemConfig, scheme string, seed uint64) (footprint, error) {
+	var fp footprint
+	wide, reported, err := stackBytes(sys, scheme, seed)
+	if err != nil {
+		return fp, err
+	}
+	psys := sys
+	psys.Packed = true
+	packed, _, err := stackBytes(psys, scheme, seed)
+	if err != nil {
+		return fp, err
+	}
+	pages := float64(sys.Pages)
+	fp.SchemeTables = reported
+	fp.WideBytesPerPage = math.Round(float64(wide)/pages*100) / 100
+	fp.PackedBytesPerPage = math.Round(float64(packed)/pages*100) / 100
+	fp.WideOverPacked = math.Round(float64(wide)/float64(packed)*100) / 100
+	return fp, nil
 }
 
 // measure times full lifetime runs for one scheme × attack, interleaving the

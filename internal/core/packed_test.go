@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"twl/internal/pcm"
+	"twl/internal/pv"
+	"twl/internal/rng"
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+// packedTestEndurance is small enough that differential runs see failures
+// and comfortably inside the packed device's uint32 width.
+const packedTestEndurance = 5000
+
+// newEnginePair builds a wide engine over a wide device and a packed engine
+// over a packed device, both from the same endurance map, seed and config.
+func newEnginePair(t testing.TB, pages int, cfg Config) (*Engine, *PackedEngine) {
+	t.Helper()
+	end, err := pv.Generate(pv.Config{
+		Pages: pages, Mean: packedTestEndurance, Sigma: 0.11 * packedTestEndurance,
+		Model: pv.Gaussian, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := pcm.Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 4, Banks: 32}
+	wideDev, err := pcm.NewDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedDev, err := pcm.NewPackedDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := New(wideDev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := NewPacked(packedDev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wide, packed
+}
+
+// comparePackedWide requires byte-identical engine and device snapshots and
+// equal stats.
+func comparePackedWide(t *testing.T, wide *Engine, packed *PackedEngine, when string) {
+	t.Helper()
+	if wide.Stats() != packed.Stats() {
+		t.Fatalf("%s: stats diverged: wide %+v, packed %+v", when, wide.Stats(), packed.Stats())
+	}
+	var we, pe bytes.Buffer
+	if err := wide.Snapshot(&we); err != nil {
+		t.Fatalf("%s: wide engine snapshot: %v", when, err)
+	}
+	if err := packed.Snapshot(&pe); err != nil {
+		t.Fatalf("%s: packed engine snapshot: %v", when, err)
+	}
+	if !bytes.Equal(we.Bytes(), pe.Bytes()) {
+		t.Fatalf("%s: engine snapshots differ (%d vs %d bytes)", when, we.Len(), pe.Len())
+	}
+	var wd, pd bytes.Buffer
+	if err := wide.Device().Snapshot(&wd); err != nil {
+		t.Fatalf("%s: wide device snapshot: %v", when, err)
+	}
+	if err := packed.Device().Snapshot(&pd); err != nil {
+		t.Fatalf("%s: packed device snapshot: %v", when, err)
+	}
+	if !bytes.Equal(wd.Bytes(), pd.Bytes()) {
+		t.Fatalf("%s: device snapshots differ (%d vs %d bytes)", when, wd.Len(), pd.Len())
+	}
+}
+
+// TestPackedEngineConformance runs the full scheme conformance suite
+// (data integrity, wear conservation, invariants, cost sanity) against the
+// packed engine over a packed device. The endurance mean sits below the
+// packed uint32 limit but far above what the suite's workloads inflict, so
+// wear-out never interferes.
+func TestPackedEngineConformance(t *testing.T) {
+	wltest.Run(t, func(tb testing.TB, seed uint64) wl.Scheme {
+		dev := wltest.NewPackedDeviceEndurance(tb, 256, 1e9, seed)
+		e, err := NewPacked(dev, DefaultConfig(seed))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return e
+	})
+}
+
+// TestPackedEngineMatchesWide drives both engines through an identical
+// random mix of per-write, run and sweep operations and requires
+// bit-identical state throughout — the core of the packed/wide differential
+// matrix.
+func TestPackedEngineMatchesWide(t *testing.T) {
+	for _, pairing := range []Pairing{StrongWeak, Adjacent, Random} {
+		pairing := pairing
+		t.Run(pairing.String(), func(t *testing.T) {
+			const pages = 512
+			cfg := DefaultConfig(99)
+			cfg.Pairing = pairing
+			wide, packed := newEnginePair(t, pages, cfg)
+			drv := rng.NewXorshift(1234)
+			tag := uint64(1)
+			for op := 0; op < 6000; op++ {
+				switch drv.Intn(10) {
+				case 0, 1, 2, 3, 4, 5:
+					la := drv.Intn(pages)
+					cw := wide.Write(la, tag)
+					cp := packed.Write(la, tag)
+					if cw != cp {
+						t.Fatalf("op %d: Write(%d) cost diverged: wide %+v, packed %+v", op, la, cw, cp)
+					}
+				case 6:
+					la := drv.Intn(pages)
+					vw, cw := wide.Read(la)
+					vp, cp := packed.Read(la)
+					if vw != vp || cw != cp {
+						t.Fatalf("op %d: Read(%d) diverged: wide (%d,%+v), packed (%d,%+v)", op, la, vw, cw, vp, cp)
+					}
+				case 7, 8:
+					la := drv.Intn(pages)
+					n := 1 + drv.Intn(200)
+					cw, aw := wide.WriteRun(la, tag, n)
+					cp, ap := packed.WriteRun(la, tag, n)
+					if cw != cp || aw != ap {
+						t.Fatalf("op %d: WriteRun(%d,%d) diverged: wide (%+v,%d), packed (%+v,%d)",
+							op, la, n, cw, aw, cp, ap)
+					}
+					// Serve the event write so runs make progress past events.
+					if aw == 0 {
+						if cws, cps := wide.Write(la, tag), packed.Write(la, tag); cws != cps {
+							t.Fatalf("op %d: event Write(%d) diverged", op, la)
+						}
+					}
+				default:
+					n := 1 + drv.Intn(64)
+					la := drv.Intn(pages - n)
+					cw, aw := wide.WriteSweep(la, tag, n)
+					cp, ap := packed.WriteSweep(la, tag, n)
+					if cw != cp || aw != ap {
+						t.Fatalf("op %d: WriteSweep(%d,%d) diverged: wide (%+v,%d), packed (%+v,%d)",
+							op, la, n, cw, aw, cp, ap)
+					}
+					if aw == 0 {
+						if cws, cps := wide.Write(la, tag), packed.Write(la, tag); cws != cps {
+							t.Fatalf("op %d: event Write(%d) diverged", op, la)
+						}
+					}
+				}
+				tag += 7
+				if op%1000 == 999 {
+					comparePackedWide(t, wide, packed, "mid-run")
+				}
+			}
+			if err := wide.CheckInvariants(); err != nil {
+				t.Fatalf("wide invariants: %v", err)
+			}
+			if err := packed.CheckInvariants(); err != nil {
+				t.Fatalf("packed invariants: %v", err)
+			}
+			comparePackedWide(t, wide, packed, "final")
+		})
+	}
+}
+
+// TestPackedEngineSnapshotCrossRestore checkpoints a packed engine mid-run
+// and restores the stream into a wide engine (and vice versa); both
+// continuations must stay bit-identical to the original.
+func TestPackedEngineSnapshotCrossRestore(t *testing.T) {
+	const pages = 128
+	cfg := DefaultConfig(3)
+	wide, packed := newEnginePair(t, pages, cfg)
+	drv := rng.NewXorshift(77)
+	for op := 0; op < 3000; op++ {
+		la := drv.Intn(pages)
+		wide.Write(la, uint64(op))
+		packed.Write(la, uint64(op))
+	}
+	var pbuf, wbuf bytes.Buffer
+	if err := packed.Snapshot(&pbuf); err != nil {
+		t.Fatalf("packed snapshot: %v", err)
+	}
+	if err := wide.Snapshot(&wbuf); err != nil {
+		t.Fatalf("wide snapshot: %v", err)
+	}
+
+	// Fresh engines of the opposite width, restored from each other's
+	// snapshots. Devices keep their live state — the sim layer checkpoints
+	// them separately — so only the scheme state crosses widths here.
+	wide2, err := New(wide.Device(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide2.Restore(bytes.NewReader(pbuf.Bytes())); err != nil {
+		t.Fatalf("restore packed snapshot into wide engine: %v", err)
+	}
+	packed2, err := NewPacked(packed.Device(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := packed2.Restore(bytes.NewReader(wbuf.Bytes())); err != nil {
+		t.Fatalf("restore wide snapshot into packed engine: %v", err)
+	}
+
+	for op := 0; op < 2000; op++ {
+		la := drv.Intn(pages)
+		tag := uint64(1_000_000 + op)
+		cw := wide2.Write(la, tag)
+		cp := packed2.Write(la, tag)
+		if cw != cp {
+			t.Fatalf("post-restore op %d: cost diverged: wide %+v, packed %+v", op, cw, cp)
+		}
+	}
+	comparePackedWide(t, wide2, packed2, "post-restore")
+}
+
+// TestNewAutoSelection verifies the automatic engine choice: packed device →
+// packed engine, wide device → wide engine, packed device with an interval
+// beyond the packed width → wide engine (graceful fallback).
+func TestNewAutoSelection(t *testing.T) {
+	const pages = 64
+	end, err := pv.Generate(pv.Config{
+		Pages: pages, Mean: packedTestEndurance, Sigma: 0.11 * packedTestEndurance,
+		Model: pv.Gaussian, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := pcm.Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	wideDev, err := pcm.NewDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedDev, err := pcm.NewPackedDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewAuto(packedDev, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*PackedEngine); !ok {
+		t.Fatalf("NewAuto on packed device returned %T, want *PackedEngine", s)
+	}
+	if s.Name() != "TWL_swp" {
+		t.Fatalf("packed engine Name = %q, want TWL_swp", s.Name())
+	}
+
+	s, err = NewAuto(wideDev, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*Engine); !ok {
+		t.Fatalf("NewAuto on wide device returned %T, want *Engine", s)
+	}
+
+	big := DefaultConfig(5)
+	big.InterPairSwapInterval = MaxPackedIPSInterval + 1
+	s, err = NewAuto(packedDev, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*Engine); !ok {
+		t.Fatalf("NewAuto with oversized interval returned %T, want *Engine fallback", s)
+	}
+}
+
+// TestTableBytesPackedWin verifies the MemoryReporter accounting and the
+// headline claim: the packed TWL stack (tables + device) is at least 2×
+// smaller per page than the wide stack.
+func TestTableBytesPackedWin(t *testing.T) {
+	const pages = 512
+	cfg := DefaultConfig(11)
+	wide, packed := newEnginePair(t, pages, cfg)
+
+	var wr wl.MemoryReporter = wide
+	var pr wl.MemoryReporter = packed
+	wb, pb := wr.TableBytes(), pr.TableBytes()
+	if wb != 53*pages {
+		t.Errorf("wide TableBytes = %d, want %d (53 B/page)", wb, 53*pages)
+	}
+	if pb != 22*pages {
+		t.Errorf("packed TableBytes = %d, want %d (22 B/page)", pb, 22*pages)
+	}
+
+	wideTotal := wb + wide.Device().Footprint().Total()
+	packedTotal := pb + packed.Device().Footprint().Total()
+	if ratio := float64(wideTotal) / float64(packedTotal); ratio < 2 {
+		t.Errorf("stack footprint ratio wide/packed = %.2f (%d vs %d bytes), want >= 2",
+			ratio, wideTotal, packedTotal)
+	}
+}

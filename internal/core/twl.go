@@ -500,6 +500,15 @@ func (e *Engine) PartnerOf(la int) int {
 	return e.rt.Log(e.swpt.Partner(e.rt.Phys(la)))
 }
 
+// TableBytes implements wl.MemoryReporter: the per-page metadata the wide
+// engine carries (53 B/page; the packed engine's 22 B/page is the
+// comparison point in the BENCH footprint report).
+func (e *Engine) TableBytes() int64 {
+	return e.rt.Bytes() + e.swpt.Bytes() + int64(len(e.et))*8 + e.wct.Bytes() +
+		int64(len(e.pairIdx))*8 + int64(len(e.repLA))*8 + int64(len(e.ipsCount))*4 +
+		int64(len(e.scratch))*8
+}
+
 // CheckInvariants implements wl.Checker: RT bijection, SWPT involution
 // (mutual, fixed-point-free partners — pairs are disjoint), table geometry
 // against the device, pair-representative and counter consistency, and wear
@@ -625,7 +634,7 @@ func init() {
 		Order:   40,
 		Doc:     "toss-up wear leveling, strong-weak pairing (the paper's contribution)",
 		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
-			return New(dev, DefaultConfig(seed))
+			return NewAuto(dev, DefaultConfig(seed))
 		},
 	})
 	wl.Register(wl.Registration{
@@ -635,7 +644,7 @@ func init() {
 		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
 			cfg := DefaultConfig(seed)
 			cfg.Pairing = Adjacent
-			return New(dev, cfg)
+			return NewAuto(dev, cfg)
 		},
 	})
 	wl.Register(wl.Registration{
@@ -645,7 +654,7 @@ func init() {
 		New: func(dev *pcm.Device, seed uint64) (wl.Scheme, error) {
 			cfg := DefaultConfig(seed)
 			cfg.Pairing = Random
-			return New(dev, cfg)
+			return NewAuto(dev, cfg)
 		},
 	})
 }

@@ -1,0 +1,292 @@
+package pcm
+
+import "fmt"
+
+// Packed storage mode: the paper's full geometry is 8Mi pages, and the wide
+// device layout (endurance + invEndurance + wear + payload = 32 B/page)
+// costs ~270 MB before any scheme tables. Real endurance values fit
+// comfortably in 32 bits (the paper's mean is 10^8 ≈ 2^26.6), so the packed
+// mode stores endurance and wear as uint32 and drops the invEndurance cache
+// (Summary/WearHistogram recompute 1/float64(e) on the fly — the identical
+// IEEE operation NewDevice memoizes, so wear fractions stay bit-identical).
+// That halves the device to 16 B/page and, more importantly, doubles how
+// many wear counters fit per cache line on the bulk write paths.
+//
+// Width safety: endurance is capped at MaxPackedEndurance = 2^31, leaving a
+// full 2^31 of wear headroom past the endurance boundary. Wear exceeds
+// endurance only by writes applied after a failure — the simulator stops on
+// the first unhandled failure and the retirement layer redirects traffic
+// off dead cells, so the overshoot is bounded by one bulk chunk and can
+// never approach the uint32 ceiling.
+
+// MaxPackedEndurance is the largest per-page endurance a packed device
+// accepts (2^31 — see the width-safety note above).
+const MaxPackedEndurance = 1 << 31
+
+// NewPackedDevice builds a device in packed storage mode. It behaves
+// bit-identically to NewDevice — same write/failure semantics, same
+// snapshot wire format — but requires every endurance value to be at most
+// MaxPackedEndurance.
+func NewPackedDevice(geom Geometry, timing Timing, endurance []uint64) (*Device, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if len(endurance) != geom.TotalPages() {
+		return nil, fmt.Errorf("pcm: endurance map has %d entries, geometry has %d pages (%d visible + %d spare)",
+			len(endurance), geom.TotalPages(), geom.Pages, geom.SparePages)
+	}
+	end := make([]uint32, len(endurance))
+	for i, e := range endurance {
+		if e == 0 {
+			return nil, fmt.Errorf("pcm: page %d has zero endurance", i)
+		}
+		if e > MaxPackedEndurance {
+			return nil, fmt.Errorf("pcm: page %d endurance %d exceeds packed limit %d (use NewDevice)",
+				i, e, uint64(MaxPackedEndurance))
+		}
+		end[i] = uint32(e)
+	}
+	return &Device{
+		geom:    geom,
+		timing:  timing,
+		end32:   end,
+		wear32:  make([]uint32, geom.TotalPages()),
+		payload: make([]uint64, geom.TotalPages()),
+	}, nil
+}
+
+// Packed reports whether the device uses the packed (uint32) storage mode.
+func (d *Device) Packed() bool { return d.wear32 != nil }
+
+// write32 is Write in packed mode.
+func (d *Device) write32(pp int, tag uint64) bool {
+	pp = d.resolve(pp)
+	d.wear32[pp]++
+	d.payload[pp] = tag
+	d.writes++
+	if d.wear32[pp] == d.end32[pp] {
+		d.failedLog = append(d.failedLog, pp)
+		return true
+	}
+	return d.wear32[pp] > d.end32[pp]
+}
+
+// writeN32 is WriteN in packed mode (n > 0 guaranteed by the caller).
+//
+//twl:hotpath
+func (d *Device) writeN32(pp int, tag uint64, n int) int {
+	pp = d.resolve(pp)
+	applied := uint64(n)
+	w, e := d.wear32[pp], d.end32[pp]
+	if w < e && applied >= uint64(e-w) {
+		applied = uint64(e - w)
+		d.failedLog = append(d.failedLog, pp)
+	}
+	d.wear32[pp] = w + uint32(applied)
+	d.payload[pp] = tag + applied - 1
+	d.writes += applied
+	return int(applied)
+}
+
+// rewriteN32 is RewriteN in packed mode (n > 0 guaranteed by the caller).
+//
+//twl:hotpath
+func (d *Device) rewriteN32(pp int, n int) int {
+	pp = d.resolve(pp)
+	applied := uint64(n)
+	w, e := d.wear32[pp], d.end32[pp]
+	if w < e && applied >= uint64(e-w) {
+		applied = uint64(e - w)
+		d.failedLog = append(d.failedLog, pp)
+	}
+	d.wear32[pp] = w + uint32(applied)
+	d.writes += applied
+	return int(applied)
+}
+
+// writeRange32 is WriteRange in packed mode (n > 0 guaranteed by the caller).
+//
+//twl:hotpath
+func (d *Device) writeRange32(pp0 int, tag uint64, n int) int {
+	if d.redirect != nil {
+		return d.writeRangeSlow32(pp0, tag, n)
+	}
+	wear := d.wear32[pp0 : pp0+n]
+	end := d.end32[pp0 : pp0+n][:n]
+	pay := d.payload[pp0 : pp0+n][:n]
+	for i := range wear {
+		w := wear[i] + 1
+		wear[i] = w
+		pay[i] = tag + uint64(i)
+		if w >= end[i] {
+			if w == end[i] {
+				d.failedLog = append(d.failedLog, pp0+i)
+			}
+			d.writes += uint64(i + 1)
+			return i + 1
+		}
+	}
+	d.writes += uint64(n)
+	return n
+}
+
+// writeRangeSlow32 is writeRange32 with per-page redirect resolution, used
+// once any page has been retired.
+func (d *Device) writeRangeSlow32(pp0 int, tag uint64, n int) int {
+	for i := 0; i < n; i++ {
+		pp := d.resolve(pp0 + i)
+		w := d.wear32[pp] + 1
+		d.wear32[pp] = w
+		d.payload[pp] = tag + uint64(i)
+		if w >= d.end32[pp] {
+			if w == d.end32[pp] {
+				d.failedLog = append(d.failedLog, pp)
+			}
+			d.writes += uint64(i + 1)
+			return i + 1
+		}
+	}
+	d.writes += uint64(n)
+	return n
+}
+
+// writeSeq32 is WriteSeq in packed mode.
+//
+//twl:hotpath
+func (d *Device) writeSeq32(pps []int, tag uint64) int {
+	wear := d.wear32
+	end := d.end32[:len(wear)]
+	pay := d.payload[:len(wear)]
+	redirected := d.redirect != nil
+	for i, pp := range pps {
+		if redirected {
+			pp = d.resolve(pp)
+		}
+		w := wear[pp] + 1
+		wear[pp] = w
+		pay[pp] = tag + uint64(i)
+		if w >= end[pp] {
+			if w == end[pp] {
+				d.failedLog = append(d.failedLog, pp)
+			}
+			d.writes += uint64(i + 1)
+			return i + 1
+		}
+	}
+	d.writes += uint64(len(pps))
+	return len(pps)
+}
+
+// minRemainingAtLeast32 is MinRemainingAtLeast's exact rescan in packed
+// mode; the watermark fast paths are width-independent and stay in the
+// caller.
+func (d *Device) minRemainingAtLeast32(n uint64) bool {
+	min := ^uint64(0)
+	visible := d.geom.Pages
+	for pp, w := range d.wear32 {
+		if d.redirect != nil {
+			if pp < visible {
+				if d.redirect[pp] >= 0 {
+					continue
+				}
+			} else if !d.isTarget[pp] {
+				continue
+			}
+		} else if pp >= visible {
+			break
+		}
+		var r uint64
+		if w < d.end32[pp] {
+			r = uint64(d.end32[pp] - w)
+		}
+		if r < min {
+			min = r
+		}
+	}
+	d.slack = min
+	d.slackAt = d.writes
+	d.slackValid = true
+	return min >= n
+}
+
+// summary32 is Summary in packed mode. The wear fraction is computed as
+// w * (1/e) — the same reciprocal-then-multiply NewDevice caches in
+// invEndurance — so packed and wide summaries are bit-identical.
+func (d *Device) summary32() WearSummary {
+	var s WearSummary
+	s.MaxWearPage = -1
+	s.MaxFractionPage = -1
+	var fracSum float64
+	for pp, w32 := range d.wear32 {
+		w := uint64(w32)
+		s.TotalWear += w
+		if w > s.MaxWear {
+			s.MaxWear = w
+			s.MaxWearPage = pp
+		}
+		f := float64(w) * (1 / float64(d.end32[pp]))
+		fracSum += f
+		if f > s.MaxFraction {
+			s.MaxFraction = f
+			s.MaxFractionPage = pp
+		}
+	}
+	if len(d.wear32) > 0 {
+		s.MeanFraction = fracSum / float64(len(d.wear32))
+	}
+	return s
+}
+
+// wearHistogram32 is WearHistogram in packed mode (buckets > 0 guaranteed
+// by the caller).
+func (d *Device) wearHistogram32(buckets int) []int {
+	h := make([]int, buckets)
+	for pp, w := range d.wear32 {
+		f := float64(w) * (1 / float64(d.end32[pp]))
+		b := int(f * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// Footprint itemizes the device's per-page state arrays in bytes — the
+// layout audit behind the bytes-per-page accounting in BENCH reports. Only
+// allocated arrays count: a wide device reports Wear/Endurance/InvEndurance
+// at 8 bytes per page, a packed one at 4/4/0, and Redirect is zero until
+// the first retirement materializes the table.
+type Footprint struct {
+	Wear         int64 `json:"wear"`
+	Endurance    int64 `json:"endurance"`
+	InvEndurance int64 `json:"inv_endurance"`
+	Payload      int64 `json:"payload"`
+	Redirect     int64 `json:"redirect"`
+}
+
+// Total sums the itemized bytes.
+func (f Footprint) Total() int64 {
+	return f.Wear + f.Endurance + f.InvEndurance + f.Payload + f.Redirect
+}
+
+// PerPage returns Total divided by the page count.
+func (f Footprint) PerPage(pages int) float64 {
+	if pages <= 0 {
+		return 0
+	}
+	return float64(f.Total()) / float64(pages)
+}
+
+// Footprint reports the device's current per-page memory layout.
+func (d *Device) Footprint() Footprint {
+	var f Footprint
+	f.Wear = int64(len(d.wear))*8 + int64(len(d.wear32))*4
+	f.Endurance = int64(len(d.endurance))*8 + int64(len(d.end32))*4
+	f.InvEndurance = int64(len(d.invEndurance)) * 8
+	f.Payload = int64(len(d.payload)) * 8
+	if d.redirect != nil {
+		f.Redirect = int64(len(d.redirect))*8 + int64(len(d.isTarget))
+	}
+	return f
+}

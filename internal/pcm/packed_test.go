@@ -1,0 +1,371 @@
+package pcm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testPair builds a wide and a packed device over the same geometry and
+// endurance map, for twin-operation parity tests.
+func testPair(t *testing.T, pages, spares int, endurance func(i int) uint64) (*Device, *Device) {
+	t.Helper()
+	geom := Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1, SparePages: spares}
+	end := make([]uint64, geom.TotalPages())
+	for i := range end {
+		end[i] = endurance(i)
+	}
+	wide, err := NewDevice(geom, DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := NewPackedDevice(geom, DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !packed.Packed() || wide.Packed() {
+		t.Fatalf("Packed() = %v/%v, want false/true", wide.Packed(), packed.Packed())
+	}
+	return wide, packed
+}
+
+// compareDevices checks every observable surface of the two devices: wear,
+// payloads, counters, failure log, summaries, histograms and snapshot bytes.
+func compareDevices(t *testing.T, wide, packed *Device) {
+	t.Helper()
+	if wide.TotalWrites() != packed.TotalWrites() || wide.TotalReads() != packed.TotalReads() {
+		t.Fatalf("writes/reads diverge: wide %d/%d, packed %d/%d",
+			wide.TotalWrites(), wide.TotalReads(), packed.TotalWrites(), packed.TotalReads())
+	}
+	if wide.FailedPages() != packed.FailedPages() {
+		t.Fatalf("failed pages diverge: wide %d, packed %d", wide.FailedPages(), packed.FailedPages())
+	}
+	for i := 0; i < wide.FailedPages(); i++ {
+		if wide.FailureAt(i) != packed.FailureAt(i) {
+			t.Fatalf("failure %d diverges: wide page %d, packed page %d", i, wide.FailureAt(i), packed.FailureAt(i))
+		}
+	}
+	for pp := 0; pp < wide.TotalPages(); pp++ {
+		if wide.Wear(pp) != packed.Wear(pp) {
+			t.Fatalf("wear[%d] diverges: wide %d, packed %d", pp, wide.Wear(pp), packed.Wear(pp))
+		}
+		if wide.Peek(pp) != packed.Peek(pp) {
+			t.Fatalf("payload[%d] diverges: wide %d, packed %d", pp, wide.Peek(pp), packed.Peek(pp))
+		}
+		if wide.Remaining(pp) != packed.Remaining(pp) {
+			t.Fatalf("remaining[%d] diverges: wide %d, packed %d", pp, wide.Remaining(pp), packed.Remaining(pp))
+		}
+	}
+	ws, ps := wide.Summary(), packed.Summary()
+	if ws != ps {
+		t.Fatalf("summaries diverge:\nwide   %+v\npacked %+v", ws, ps)
+	}
+	wh, ph := wide.WearHistogram(16), packed.WearHistogram(16)
+	for b := range wh {
+		if wh[b] != ph[b] {
+			t.Fatalf("histogram bucket %d diverges: wide %d, packed %d", b, wh[b], ph[b])
+		}
+	}
+	var wb, pb bytes.Buffer
+	if err := wide.Snapshot(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := packed.Snapshot(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), pb.Bytes()) {
+		t.Fatalf("snapshot bytes diverge: wide %d bytes, packed %d bytes", wb.Len(), pb.Len())
+	}
+}
+
+// TestPackedParityRandomOps drives the same randomized operation sequence
+// through a wide and a packed device and requires every observable to stay
+// identical, including mid-run failures, retirement remaps and the
+// min-remaining watermark.
+func TestPackedParityRandomOps(t *testing.T) {
+	const pages, spares = 64, 4
+	rng := rand.New(rand.NewSource(11))
+	wide, packed := testPair(t, pages, spares, func(i int) uint64 { return 40 + uint64((i*13)%50) })
+
+	spareNext := pages
+	tag := uint64(1)
+	for step := 0; step < 4000; step++ {
+		op := rng.Intn(10)
+		pp := rng.Intn(pages)
+		switch {
+		case op < 4:
+			w := wide.Write(pp, tag)
+			p := packed.Write(pp, tag)
+			if w != p {
+				t.Fatalf("step %d: Write(%d) failure flag diverges: wide %v, packed %v", step, pp, w, p)
+			}
+			tag++
+		case op < 6:
+			n := 1 + rng.Intn(30)
+			w := wide.WriteN(pp, tag, n)
+			p := packed.WriteN(pp, tag, n)
+			if w != p {
+				t.Fatalf("step %d: WriteN(%d,%d) diverges: wide %d, packed %d", step, pp, n, w, p)
+			}
+			tag += uint64(n)
+		case op < 7:
+			n := 1 + rng.Intn(10)
+			if w, p := wide.RewriteN(pp, n), packed.RewriteN(pp, n); w != p {
+				t.Fatalf("step %d: RewriteN diverges: wide %d, packed %d", step, w, p)
+			}
+		case op < 8:
+			n := 1 + rng.Intn(pages-pp)
+			w := wide.WriteRange(pp, tag, n)
+			p := packed.WriteRange(pp, tag, n)
+			if w != p {
+				t.Fatalf("step %d: WriteRange diverges: wide %d, packed %d", step, w, p)
+			}
+			tag += uint64(n)
+		case op < 9:
+			pps := make([]int, 1+rng.Intn(8))
+			seen := map[int]bool{}
+			for i := range pps {
+				q := rng.Intn(pages)
+				for seen[q] {
+					q = (q + 1) % pages
+				}
+				seen[q] = true
+				pps[i] = q
+			}
+			w := wide.WriteSeq(pps, tag)
+			p := packed.WriteSeq(append([]int(nil), pps...), tag)
+			if w != p {
+				t.Fatalf("step %d: WriteSeq diverges: wide %d, packed %d", step, w, p)
+			}
+			tag += uint64(len(pps))
+		default:
+			n := uint64(rng.Intn(20))
+			if w, p := wide.MinRemainingAtLeast(n), packed.MinRemainingAtLeast(n); w != p {
+				t.Fatalf("step %d: MinRemainingAtLeast(%d) diverges: wide %v, packed %v", step, n, w, p)
+			}
+			if w, p := wide.Read(pp), packed.Read(pp); w != p {
+				t.Fatalf("step %d: Read diverges: wide %d, packed %d", step, w, p)
+			}
+		}
+		// Retire failed visible pages onto spares in both devices, so the
+		// run exercises the redirect-following twins too.
+		wp, wf := wide.Failed()
+		pp2, pf := packed.Failed()
+		if wf != pf || wp != pp2 {
+			t.Fatalf("step %d: Failed diverges: wide %d/%v, packed %d/%v", step, wp, wf, pp2, pf)
+		}
+		if wf && wp < pages && spareNext < wide.TotalPages() {
+			if err := wide.Remap(wp, spareNext); err != nil {
+				t.Fatal(err)
+			}
+			if err := packed.Remap(pp2, spareNext); err != nil {
+				t.Fatal(err)
+			}
+			spareNext++
+			wide.AckFailures(wide.FailedPages())
+			packed.AckFailures(packed.FailedPages())
+		} else if wf {
+			break
+		}
+	}
+	compareDevices(t, wide, packed)
+}
+
+// TestPackedSnapshotInterop proves checkpoints cross storage modes: a
+// snapshot taken on a packed device restores into a wide one (and back)
+// with identical state.
+func TestPackedSnapshotInterop(t *testing.T) {
+	wide, packed := testPair(t, 32, 0, func(i int) uint64 { return 20 + uint64(i) })
+	for i := 0; i < 300; i++ {
+		wide.Write(i%32, uint64(i))
+		packed.Write(i%32, uint64(i))
+	}
+	var buf bytes.Buffer
+	if err := packed.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wide2, packed2 := testPair(t, 32, 0, func(i int) uint64 { return 20 + uint64(i) })
+	if err := wide2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("wide restore of packed snapshot: %v", err)
+	}
+	if err := packed2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("packed restore of packed snapshot: %v", err)
+	}
+	compareDevices(t, wide2, packed2)
+	compareDevices(t, wide, packed2)
+}
+
+// TestPackedEnduranceLimit pins the constructor's width gate.
+func TestPackedEnduranceLimit(t *testing.T) {
+	geom := Geometry{Pages: 2, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	if _, err := NewPackedDevice(geom, DefaultTiming(), []uint64{1, MaxPackedEndurance + 1}); err == nil {
+		t.Fatal("NewPackedDevice accepted endurance above the packed limit")
+	}
+	if _, err := NewPackedDevice(geom, DefaultTiming(), []uint64{1, MaxPackedEndurance}); err != nil {
+		t.Fatalf("NewPackedDevice rejected endurance at the packed limit: %v", err)
+	}
+	if _, err := NewPackedDevice(geom, DefaultTiming(), []uint64{0, 1}); err == nil {
+		t.Fatal("NewPackedDevice accepted zero endurance")
+	}
+}
+
+// TestEnduranceMapCopies is the mutation-safety regression test: the map a
+// caller receives must be a copy, so sorting or zeroing it cannot corrupt
+// the device's ground truth (this was an aliasing bug — schemes sort their
+// "copy" of the endurance map during construction).
+func TestEnduranceMapCopies(t *testing.T) {
+	wide, packed := testPair(t, 8, 2, func(i int) uint64 { return 100 + uint64(i) })
+	for _, d := range []*Device{wide, packed} {
+		m := d.EnduranceMap()
+		if len(m) != 8 {
+			t.Fatalf("EnduranceMap covers %d pages, want visible 8", len(m))
+		}
+		for i := range m {
+			m[i] = 1
+		}
+		if d.Endurance(3) != 103 {
+			t.Fatalf("mutating the returned map changed device endurance to %d", d.Endurance(3))
+		}
+		if got := d.EnduranceMap()[3]; got != 103 {
+			t.Fatalf("second EnduranceMap call sees %d, want 103", got)
+		}
+	}
+}
+
+// TestFootprintAccounting pins the bytes-per-page layout audit for both
+// storage modes, including the ≥2× packed-vs-wide device-state ratio and
+// redirect materialization.
+func TestFootprintAccounting(t *testing.T) {
+	wide, packed := testPair(t, 100, 4, func(i int) uint64 { return 1000 }) // 104 physical pages
+	wf, pf := wide.Footprint(), packed.Footprint()
+	if wf.Total() != 104*32 {
+		t.Fatalf("wide footprint %d bytes, want %d (32 B/page)", wf.Total(), 104*32)
+	}
+	if pf.Total() != 104*16 {
+		t.Fatalf("packed footprint %d bytes, want %d (16 B/page)", pf.Total(), 104*16)
+	}
+	if ratio := wf.PerPage(104) / pf.PerPage(104); ratio < 2 {
+		t.Fatalf("packed device saves only %.2fx, want >= 2x", ratio)
+	}
+	if pf.InvEndurance != 0 {
+		t.Fatalf("packed device reports %d invEndurance bytes, want 0", pf.InvEndurance)
+	}
+	// Retirement materializes the redirect table in both modes.
+	for i := 0; i < 1000; i++ {
+		wide.Write(7, 1)
+	}
+	if err := wide.Remap(7, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := wide.Footprint().Redirect; got != 104*8+104 {
+		t.Fatalf("redirect footprint %d bytes, want %d", got, 104*8+104)
+	}
+}
+
+// TestWriteNOverflowClamp pins the overflow-safe failure clamp at full-scale
+// wear values: with wear beyond 2^63, the old w+applied comparison wrapped
+// and silently skipped the endurance boundary.
+func TestWriteNOverflowClamp(t *testing.T) {
+	geom := Geometry{Pages: 2, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	end := []uint64{math.MaxUint64, math.MaxUint64}
+	d, err := NewDevice(geom, DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive wear to MaxUint64 - 3 directly through the bulk path: each call
+	// applies at most 2^62, so four calls land just short of the boundary.
+	step := int(uint64(1) << 62)
+	for i := 0; i < 3; i++ {
+		if got := d.WriteN(0, 1, step); got != step {
+			t.Fatalf("WriteN ramp applied %d, want %d", got, step)
+		}
+	}
+	rem := math.MaxUint64 - 3 - 3*(uint64(1)<<62)
+	if got := d.WriteN(0, 1, int(rem)); uint64(got) != rem {
+		t.Fatalf("WriteN ramp applied %d, want %d", got, rem)
+	}
+	if w := d.Wear(0); w != math.MaxUint64-3 {
+		t.Fatalf("wear = %d, want MaxUint64-3", w)
+	}
+	// w + n wraps uint64 here; the clamp must still fire at exactly the
+	// remaining 3 writes and log the failure.
+	if got := d.WriteN(0, 42, 1<<20); got != 3 {
+		t.Fatalf("WriteN at the boundary applied %d, want 3", got)
+	}
+	if w := d.Wear(0); w != math.MaxUint64 {
+		t.Fatalf("wear = %d, want MaxUint64", w)
+	}
+	if page, failed := d.Failed(); !failed || page != 0 {
+		t.Fatalf("Failed = %d/%v, want 0/true", page, failed)
+	}
+	// RewriteN has the same clamp; ramp page 1 the same way.
+	for i := 0; i < 3; i++ {
+		d.RewriteN(1, step)
+	}
+	d.RewriteN(1, int(rem))
+	if got := d.RewriteN(1, 1<<20); got != 3 {
+		t.Fatalf("RewriteN at the boundary applied %d, want 3", got)
+	}
+	if d.FailedPages() != 2 {
+		t.Fatalf("failed pages = %d, want 2", d.FailedPages())
+	}
+}
+
+// TestWatermarkNearLimits exercises MinRemainingAtLeast with full-scale and
+// near-MaxUint64 endurance values: the watermark arithmetic must not wrap.
+func TestWatermarkNearLimits(t *testing.T) {
+	geom := Geometry{Pages: 4, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	end := []uint64{math.MaxUint64, math.MaxUint64 - 1, math.MaxUint64, math.MaxUint64}
+	d, err := NewDevice(geom, DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.MinRemainingAtLeast(math.MaxUint64 - 1) {
+		t.Fatal("fresh device must have MaxUint64-1 remaining everywhere")
+	}
+	if d.MinRemainingAtLeast(math.MaxUint64) {
+		t.Fatal("page 1 cannot absorb MaxUint64 writes")
+	}
+	d.Write(1, 7)
+	if d.MinRemainingAtLeast(math.MaxUint64 - 1) {
+		t.Fatal("after one write page 1 has MaxUint64-2 remaining")
+	}
+	if !d.MinRemainingAtLeast(math.MaxUint64 - 2) {
+		t.Fatal("watermark lost the exact minimum")
+	}
+}
+
+// TestTotalEnduranceSaturates pins the saturating sum: a device whose
+// endurance map overflows uint64 reports MaxUint64, not a wrapped value.
+func TestTotalEnduranceSaturates(t *testing.T) {
+	geom := Geometry{Pages: 3, PageSize: 4096, LineSize: 128, Ranks: 1, Banks: 1}
+	end := []uint64{math.MaxUint64 / 2, math.MaxUint64 / 2, math.MaxUint64 / 2}
+	d, err := NewDevice(geom, DefaultTiming(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TotalEndurance(); got != math.MaxUint64 {
+		t.Fatalf("TotalEndurance = %d, want saturated MaxUint64", got)
+	}
+}
+
+// TestGeometryValidateFullScale accepts the paper's real geometry and
+// rejects degenerate full-scale variants.
+func TestGeometryValidateFullScale(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Pages != 8<<20 {
+		t.Fatalf("full geometry has %d pages, want 8Mi", g.Pages)
+	}
+	g.SparePages = g.Pages / 50
+	if err := g.Validate(); err != nil {
+		t.Fatalf("full geometry with spares invalid: %v", err)
+	}
+	if g.TotalPages() != 8<<20+(8<<20)/50 {
+		t.Fatalf("TotalPages = %d", g.TotalPages())
+	}
+	g.SparePages = -1
+	if err := g.Validate(); err == nil {
+		t.Fatal("negative spare pool unexpectedly valid")
+	}
+}

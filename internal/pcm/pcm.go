@@ -122,6 +122,17 @@ type Device struct {
 	wear         []uint64
 	payload      []uint64
 
+	// Packed storage mode (NewPackedDevice): end32/wear32 hold the endurance
+	// map and wear counters as uint32 and endurance/invEndurance/wear stay
+	// nil, halving the per-page device state (16 B/page vs 32 B/page). Every
+	// method that touches wear or endurance branches once on wear32 != nil
+	// into a u32 twin (packed.go); payload and all failure/retirement state
+	// are width-independent and shared. The two modes are bit-identical in
+	// behavior and in snapshot wire format — see packed.go for the width
+	// constraints that make that hold.
+	end32  []uint32 // snap: construction input (width twin of endurance)
+	wear32 []uint32
+
 	writes uint64 // total page writes applied (demand + swap alike)
 	reads  uint64
 
@@ -216,17 +227,38 @@ func (d *Device) resolve(pp int) int {
 
 // Endurance returns the endurance limit of physical cell pp (raw: a retired
 // page reports its own dead cell, not its spare's).
-func (d *Device) Endurance(pp int) uint64 { return d.endurance[pp] }
+func (d *Device) Endurance(pp int) uint64 {
+	if d.wear32 != nil {
+		return uint64(d.end32[pp])
+	}
+	return d.endurance[pp]
+}
 
-// EnduranceMap returns the visible pages' endurance map (shared; callers
-// must not mutate it). Schemes derive their pairing and ordering tables
-// from it, so the spare region is excluded.
-func (d *Device) EnduranceMap() []uint64 { return d.endurance[:d.geom.Pages] }
+// EnduranceMap returns a copy of the visible pages' endurance map, matching
+// WriteCounts.Counts: schemes derive their pairing and ordering tables from
+// it, and a scheme sorting or perturbing its copy must not corrupt the
+// device's ground truth. The spare region is excluded.
+func (d *Device) EnduranceMap() []uint64 {
+	out := make([]uint64, d.geom.Pages)
+	if d.wear32 != nil {
+		for i, e := range d.end32[:d.geom.Pages] {
+			out[i] = uint64(e)
+		}
+		return out
+	}
+	copy(out, d.endurance[:d.geom.Pages])
+	return out
+}
 
 // Wear returns the accumulated write count of physical cell pp (raw, like
 // Endurance, so wear heatmaps show the array's true state — a retired
 // page's cell stays pegged at its endurance).
-func (d *Device) Wear(pp int) uint64 { return d.wear[pp] }
+func (d *Device) Wear(pp int) uint64 {
+	if d.wear32 != nil {
+		return uint64(d.wear32[pp])
+	}
+	return d.wear[pp]
+}
 
 // Remaining returns how many more writes page pp can absorb before failing.
 // Unlike Wear/Endurance it follows redirects: writes to a retired page land
@@ -234,6 +266,12 @@ func (d *Device) Wear(pp int) uint64 { return d.wear[pp] }
 // policy and horizon decisions.
 func (d *Device) Remaining(pp int) uint64 {
 	pp = d.resolve(pp)
+	if d.wear32 != nil {
+		if d.wear32[pp] >= d.end32[pp] {
+			return 0
+		}
+		return uint64(d.end32[pp] - d.wear32[pp])
+	}
 	if d.wear[pp] >= d.endurance[pp] {
 		return 0
 	}
@@ -270,9 +308,12 @@ func (d *Device) MinRemainingAtLeast(n uint64) bool {
 		if n > d.slack {
 			return false
 		}
-		if since < uint64(len(d.wear)) {
+		if since < uint64(d.geom.TotalPages()) {
 			return false
 		}
+	}
+	if d.wear32 != nil {
+		return d.minRemainingAtLeast32(n)
 	}
 	min := ^uint64(0)
 	visible := d.geom.Pages
@@ -307,6 +348,9 @@ func (d *Device) MinRemainingAtLeast(n uint64) bool {
 // cell out (wear reached endurance). Writes to an already-failed page keep
 // counting wear; the simulator decides when to stop.
 func (d *Device) Write(pp int, tag uint64) bool {
+	if d.wear32 != nil {
+		return d.write32(pp, tag)
+	}
 	pp = d.resolve(pp)
 	d.wear[pp]++
 	d.payload[pp] = tag
@@ -334,10 +378,16 @@ func (d *Device) WriteN(pp int, tag uint64, n int) int {
 	if n <= 0 {
 		return 0
 	}
+	if d.wear32 != nil {
+		return d.writeN32(pp, tag, n)
+	}
 	pp = d.resolve(pp)
 	applied := uint64(n)
 	w, e := d.wear[pp], d.endurance[pp]
-	if w < e && w+applied >= e {
+	// The boundary test compares against the page's remaining headroom
+	// (e-w, well-defined when w < e) rather than forming w+applied, which
+	// can wrap uint64 near the endurance ceiling and silently skip the clamp.
+	if w < e && applied >= e-w {
 		// Crosses the endurance boundary: stop at the failing write.
 		applied = e - w
 		d.failedLog = append(d.failedLog, pp)
@@ -362,10 +412,13 @@ func (d *Device) RewriteN(pp int, n int) int {
 	if n <= 0 {
 		return 0
 	}
+	if d.wear32 != nil {
+		return d.rewriteN32(pp, n)
+	}
 	pp = d.resolve(pp)
 	applied := uint64(n)
 	w, e := d.wear[pp], d.endurance[pp]
-	if w < e && w+applied >= e {
+	if w < e && applied >= e-w {
 		applied = e - w
 		d.failedLog = append(d.failedLog, pp)
 	}
@@ -383,6 +436,9 @@ func (d *Device) RewriteN(pp int, n int) int {
 func (d *Device) WriteRange(pp0 int, tag uint64, n int) int {
 	if n <= 0 {
 		return 0
+	}
+	if d.wear32 != nil {
+		return d.writeRange32(pp0, tag, n)
 	}
 	if d.redirect != nil {
 		return d.writeRangeSlow(pp0, tag, n)
@@ -437,6 +493,9 @@ func (d *Device) writeRangeSlow(pp0 int, tag uint64, n int) int {
 //
 //twl:hotpath
 func (d *Device) WriteSeq(pps []int, tag uint64) int {
+	if d.wear32 != nil {
+		return d.writeSeq32(pps, tag)
+	}
 	wear := d.wear
 	end := d.endurance[:len(wear)]
 	pay := d.payload[:len(wear)]
@@ -560,11 +619,24 @@ func (d *Device) TotalReads() uint64 { return d.reads }
 
 // TotalEndurance returns the sum of all cells' endurance, spares included —
 // the number of page writes a perfect wear-leveler with perfect retirement
-// could absorb. The ideal-lifetime calculations use this.
+// could absorb. The ideal-lifetime calculations use this. The sum saturates
+// at MaxUint64 instead of wrapping, so budget math derived from it (demand
+// caps, normalized lifetimes) degrades to a loose bound rather than a small
+// garbage value on adversarially large endurance maps.
 func (d *Device) TotalEndurance() uint64 {
 	var sum uint64
+	if d.wear32 != nil {
+		for _, e := range d.end32 {
+			sum += uint64(e)
+		}
+		return sum
+	}
 	for _, e := range d.endurance {
-		sum += e
+		if next := sum + e; next >= sum {
+			sum = next
+		} else {
+			return ^uint64(0)
+		}
 	}
 	return sum
 }
@@ -583,6 +655,9 @@ type WearSummary struct {
 
 // Summary computes the current WearSummary.
 func (d *Device) Summary() WearSummary {
+	if d.wear32 != nil {
+		return d.summary32()
+	}
 	var s WearSummary
 	s.MaxWearPage = -1
 	s.MaxFractionPage = -1
@@ -612,6 +687,9 @@ func (d *Device) WearHistogram(buckets int) []int {
 	if buckets <= 0 {
 		return nil
 	}
+	if d.wear32 != nil {
+		return d.wearHistogram32(buckets)
+	}
 	h := make([]int, buckets)
 	for pp, w := range d.wear {
 		f := float64(w) * d.invEndurance[pp]
@@ -629,6 +707,11 @@ func (d *Device) WearHistogram(buckets int) []int {
 func (d *Device) Reset() {
 	for i := range d.wear {
 		d.wear[i] = 0
+	}
+	for i := range d.wear32 {
+		d.wear32[i] = 0
+	}
+	for i := range d.payload {
 		d.payload[i] = 0
 	}
 	d.writes = 0

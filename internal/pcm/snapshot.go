@@ -17,9 +17,20 @@ import (
 // is only a cache: MinRemainingAtLeast's conservative-"no" path depends on
 // when the last rescan happened, so dropping it would let a resumed run
 // answer a horizon query differently from the uninterrupted run.
+// The wire format is storage-width independent: a packed device writes its
+// uint32 wear counters as the same length-prefixed uint64 stream a wide
+// device writes, so checkpoints interoperate between the two modes and the
+// differential tests can compare snapshots byte for byte.
 func (d *Device) Snapshot(w io.Writer) error {
 	sw := snap.NewWriter(w)
-	sw.U64s(d.wear)
+	if d.wear32 != nil {
+		sw.U32(uint32(len(d.wear32)))
+		for _, wv := range d.wear32 {
+			sw.U64(uint64(wv))
+		}
+	} else {
+		sw.U64s(d.wear)
+	}
 	sw.U64s(d.payload)
 	sw.U64(d.writes)
 	sw.U64(d.reads)
@@ -41,11 +52,17 @@ func (d *Device) Snapshot(w io.Writer) error {
 // persisted.
 func (d *Device) Restore(r io.Reader) error {
 	sr := snap.NewReader(r)
-	sr.U64sInto(d.wear)
+	if d.wear32 != nil {
+		if err := restoreWear32(sr, d.wear32); err != nil {
+			return err
+		}
+	} else {
+		sr.U64sInto(d.wear)
+	}
 	sr.U64sInto(d.payload)
 	d.writes = sr.U64()
 	d.reads = sr.U64()
-	d.failedLog = sr.IntSlice(len(d.wear))
+	d.failedLog = sr.IntSlice(d.geom.TotalPages())
 	d.acked = sr.Int()
 	d.redirect = nil
 	d.isTarget = nil
@@ -70,5 +87,22 @@ func (d *Device) Restore(r io.Reader) error {
 	d.slack = sr.U64()
 	d.slackAt = sr.U64()
 	d.slackValid = sr.Bool()
+	return sr.Err()
+}
+
+// restoreWear32 reads the uint64-wire wear stream into a packed device's
+// uint32 counters, rejecting values the packed width cannot represent (a
+// checkpoint taken on a wide device whose wear outgrew uint32).
+func restoreWear32(sr *snap.Reader, dst []uint32) error {
+	if got := sr.U32(); sr.Err() == nil && int(got) != len(dst) {
+		return fmt.Errorf("pcm: checkpoint wear length %d does not match %d pages", got, len(dst))
+	}
+	for i := range dst {
+		v := sr.U64()
+		if v > 1<<32-1 {
+			return fmt.Errorf("pcm: checkpoint wear %d at page %d exceeds packed width", v, i)
+		}
+		dst[i] = uint32(v)
+	}
 	return sr.Err()
 }

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"twl/internal/wl"
+	"twl/internal/wl/wltest"
+)
+
+// packedRegistryFactory builds a registered scheme over a packed-storage
+// device with the same geometry, endurance map and seed registryFactory
+// uses. The device API hides storage width, so every scheme runs unchanged;
+// the TWL rows additionally switch to the packed engine through
+// core.NewAuto.
+func packedRegistryFactory(name string) schemeFactory {
+	return func(t *testing.T) wl.Scheme {
+		t.Helper()
+		dev := wltest.NewPackedDeviceEndurance(t, diffPages, diffEndurance, diffSeed)
+		s, err := wl.Default.New(name, dev, diffSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+// diffComparePacked runs one configuration on a wide device and on a packed
+// device — both through the fast-forward path — and requires bit-identical
+// observables, exactly the diffCompare criteria: the LifetimeResult, the
+// per-page wear and payload maps, device totals, the rendered metrics and
+// the trace events.
+func diffComparePacked(t *testing.T, name, kind string) {
+	t.Helper()
+	wide := diffRunOne(t, registryFactory(name), kind, false)
+	packed := diffRunOne(t, packedRegistryFactory(name), kind, false)
+
+	if packed.res != wide.res {
+		t.Errorf("LifetimeResult differs:\npacked: %+v\nwide: %+v", packed.res, wide.res)
+	}
+	if wide.res.Capped && wide.res.DemandWrites == 0 {
+		t.Fatal("wide run served no writes; differential test is vacuous")
+	}
+	for pp := range wide.wear {
+		if packed.wear[pp] != wide.wear[pp] {
+			t.Fatalf("wear[%d]: packed %d, wide %d", pp, packed.wear[pp], wide.wear[pp])
+		}
+		if packed.payload[pp] != wide.payload[pp] {
+			t.Fatalf("payload[%d]: packed %d, wide %d", pp, packed.payload[pp], wide.payload[pp])
+		}
+	}
+	if packed.writes != wide.writes || packed.reads != wide.reads {
+		t.Errorf("device totals differ: packed %d/%d, wide %d/%d",
+			packed.writes, packed.reads, wide.writes, wide.reads)
+	}
+	if packed.metricsText != wide.metricsText {
+		t.Errorf("metrics registry differs:\npacked:\n%s\nwide:\n%s", packed.metricsText, wide.metricsText)
+	}
+	if packed.traceText != wide.traceText {
+		t.Errorf("trace events differ:\npacked:\n%s\nwide:\n%s", packed.traceText, wide.traceText)
+	}
+}
+
+// TestPackedDeviceDifferential extends the differential matrix along the
+// storage-width axis: every registered scheme, against every source kind,
+// on a wide device versus a packed device. Combined with
+// TestFastForwardDifferential (fast vs slow on wide) this closes the square
+// — all four path combinations produce identical lifetimes.
+func TestPackedDeviceDifferential(t *testing.T) {
+	for _, name := range wl.Names() {
+		for _, kind := range []string{"repeat", "scan", "trace", "inconsistent"} {
+			t.Run(name+"/"+kind, func(t *testing.T) {
+				diffComparePacked(t, name, kind)
+			})
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// Shard merge arithmetic. A full-geometry device is partitioned into S
+// equal shards (bank groups), each simulated as an independent device +
+// scheme + source; the conceptual global request stream round-robins across
+// shards — global request t (1-based) goes to shard (t−1) mod S, the
+// bank-interleaved traffic pattern of a real memory controller. Because
+// shards share no state, the global run factors exactly into S independent
+// local runs, and the only work left is arithmetic: translating local
+// demand counts into global stream positions and back. These functions are
+// that arithmetic; the orchestration (worker pool, checkpoints) lives in
+// the root package, and a reference interleaver test in shard_test.go pins
+// the formulas against a literal round-robin simulation.
+//
+// The two-phase protocol built on top:
+//
+//  1. Scout: run every shard to its local first failure (or its share of
+//     the global cap). Shard k failing at local demand d_k corresponds to
+//     global position GlobalIndex(d_k, k, S) = (d_k−1)·S + k + 1.
+//  2. The winner w is the shard with the smallest global position; the
+//     global first failure is at g_w demand writes. Every other shard is
+//     then re-run capped to ShardQuota(g_w, i, S) — the number of requests
+//     the first g_w global requests send to shard i — which the scout
+//     already proved it survives. The union of those capped states is the
+//     exact global device state at first failure.
+
+// GlobalIndex returns the 1-based global stream position of shard's
+// localDemand-th request (1-based) under round-robin interleaving across
+// shards.
+func GlobalIndex(localDemand uint64, shard, shards int) uint64 {
+	return (localDemand-1)*uint64(shards) + uint64(shard) + 1
+}
+
+// ShardRequests returns how many of the first total global requests are
+// served by shard — the per-shard demand cap equivalent to a global cap.
+func ShardRequests(total uint64, shard, shards int) uint64 {
+	s := uint64(shards)
+	k := uint64(shard)
+	if total <= k {
+		return 0
+	}
+	// (total−k−1)/s + 1, kept subtraction-first so totals near the uint64
+	// ceiling cannot overflow.
+	return (total-k-1)/s + 1
+}
+
+// ShardQuota is ShardRequests named for its phase-2 role: the exact number
+// of requests shard serves within the first globalDemand global requests.
+func ShardQuota(globalDemand uint64, shard, shards int) uint64 {
+	return ShardRequests(globalDemand, shard, shards)
+}
+
+// ShardOutcome is the scout-phase summary of one shard.
+type ShardOutcome struct {
+	// Demand is the shard's local demand-write count when its run ended.
+	Demand uint64
+	// Failed reports whether the run ended at a page failure (false: the
+	// shard hit its demand cap unfailed).
+	Failed bool
+}
+
+// MergeScout resolves the scout phase: the winning shard (the one whose
+// local failure lands earliest in the global stream) and the global demand
+// count of the first failure. failed is false when no shard failed — the
+// global run is capped, and the global demand is the sum of the shard
+// demands.
+func MergeScout(outcomes []ShardOutcome) (winner int, globalDemand uint64, failed bool) {
+	winner = -1
+	var best uint64
+	var sum uint64
+	for k, o := range outcomes {
+		sum += o.Demand
+		if !o.Failed {
+			continue
+		}
+		if o.Demand == 0 {
+			// A failure needs at least one write; Demand 0 with Failed set is
+			// a corrupted outcome, not a mergeable one.
+			continue
+		}
+		g := GlobalIndex(o.Demand, k, len(outcomes))
+		if winner < 0 || g < best {
+			winner, best = k, g
+		}
+	}
+	if winner < 0 {
+		return -1, sum, false
+	}
+	return winner, best, true
+}
+
+// CheckQuotaSum verifies the phase-2 invariant Σ_i ShardQuota(g, i, S) == g
+// — the capped shard runs together serve exactly the global demand. A
+// mismatch means the merge arithmetic was fed inconsistent outcomes.
+func CheckQuotaSum(globalDemand uint64, shards int) error {
+	var sum uint64
+	for i := 0; i < shards; i++ {
+		sum += ShardQuota(globalDemand, i, shards)
+	}
+	if sum != globalDemand {
+		return fmt.Errorf("sim: shard quotas sum to %d, want global demand %d", sum, globalDemand)
+	}
+	return nil
+}

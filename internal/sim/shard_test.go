@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"twl/internal/rng"
+)
+
+// TestShardRequestsAgainstInterleaver pins ShardRequests/GlobalIndex to a
+// literal round-robin walk: deal `total` requests across S shards one at a
+// time and compare every count against the closed form.
+func TestShardRequestsAgainstInterleaver(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7, 32, 128} {
+		for _, total := range []uint64{0, 1, 2, 5, 127, 128, 129, 1000, 4096} {
+			counts := make([]uint64, shards)
+			for tt := uint64(1); tt <= total; tt++ {
+				counts[(tt-1)%uint64(shards)]++
+			}
+			for k := 0; k < shards; k++ {
+				if got := ShardRequests(total, k, shards); got != counts[k] {
+					t.Fatalf("ShardRequests(%d, %d, %d) = %d, interleaver says %d",
+						total, k, shards, got, counts[k])
+				}
+			}
+			if err := CheckQuotaSum(total, shards); err != nil {
+				t.Fatalf("total %d shards %d: %v", total, shards, err)
+			}
+		}
+	}
+}
+
+// TestGlobalIndexRoundTrip: the d-th request of shard k sits at a global
+// position that ShardRequests maps back to exactly d requests for k.
+func TestGlobalIndexRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2, 16, 128} {
+		for k := 0; k < shards; k++ {
+			for _, d := range []uint64{1, 2, 100, 1 << 30} {
+				g := GlobalIndex(d, k, shards)
+				if got := ShardRequests(g, k, shards); got != d {
+					t.Fatalf("shards=%d k=%d d=%d: GlobalIndex=%d, ShardRequests back = %d",
+						shards, k, d, g, got)
+				}
+				// The position one earlier holds one request less for k.
+				if got := ShardRequests(g-1, k, shards); got != d-1 {
+					t.Fatalf("shards=%d k=%d d=%d: ShardRequests(g-1) = %d, want %d",
+						shards, k, d, got, d-1)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeScoutAgainstInterleaver simulates random per-shard failure
+// points, finds the global first failure by literally walking the
+// round-robin stream, and requires MergeScout to agree.
+func TestMergeScoutAgainstInterleaver(t *testing.T) {
+	drv := rng.NewXorshift(42)
+	for trial := 0; trial < 200; trial++ {
+		shards := 1 + drv.Intn(16)
+		outcomes := make([]ShardOutcome, shards)
+		for k := range outcomes {
+			outcomes[k] = ShardOutcome{Demand: uint64(1 + drv.Intn(50)), Failed: drv.Intn(3) > 0}
+		}
+
+		// Reference: deal global requests one at a time; shard k dies when
+		// its local count reaches outcomes[k].Demand (if Failed).
+		refWinner, refGlobal := -1, uint64(0)
+		local := make([]uint64, shards)
+	walk:
+		for g := uint64(1); ; g++ {
+			k := int((g - 1) % uint64(shards))
+			local[k]++
+			if outcomes[k].Failed && local[k] == outcomes[k].Demand {
+				refWinner, refGlobal = k, g
+				break walk
+			}
+			allDone := true
+			for i := range outcomes {
+				if local[i] < outcomes[i].Demand {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break walk
+			}
+		}
+
+		winner, global, failed := MergeScout(outcomes)
+		if refWinner < 0 {
+			if failed {
+				t.Fatalf("trial %d: MergeScout failed=%v, reference saw no failure (outcomes %+v)",
+					trial, failed, outcomes)
+			}
+			var sum uint64
+			for _, o := range outcomes {
+				sum += o.Demand
+			}
+			if global != sum {
+				t.Fatalf("trial %d: capped global %d, want demand sum %d", trial, global, sum)
+			}
+			continue
+		}
+		if !failed || winner != refWinner || global != refGlobal {
+			t.Fatalf("trial %d: MergeScout = (%d, %d, %v), reference = (%d, %d) (outcomes %+v)",
+				trial, winner, global, failed, refWinner, refGlobal, outcomes)
+		}
+		// Phase-2 consistency: the winner's quota is its scout demand, every
+		// other shard's quota is strictly below its survival point.
+		for i, o := range outcomes {
+			q := ShardQuota(global, i, shards)
+			if i == winner {
+				if q != o.Demand {
+					t.Fatalf("trial %d: winner quota %d != scout demand %d", trial, q, o.Demand)
+				}
+			} else if o.Failed && q >= o.Demand {
+				t.Fatalf("trial %d: shard %d quota %d not below its failure point %d",
+					trial, i, q, o.Demand)
+			}
+		}
+		if err := CheckQuotaSum(global, shards); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestShardRequestsNoOverflow exercises totals at the uint64 ceiling.
+func TestShardRequestsNoOverflow(t *testing.T) {
+	const shards = 128
+	total := uint64(math.MaxUint64)
+	var prev uint64 = math.MaxUint64
+	for k := 0; k < shards; k++ {
+		got := ShardRequests(total, k, shards)
+		if got == 0 || got > total {
+			t.Fatalf("ShardRequests(MaxUint64, %d, %d) = %d out of range", k, shards, got)
+		}
+		if got > prev {
+			t.Fatalf("shard %d count %d exceeds shard %d count %d (must be non-increasing)",
+				k, got, k-1, prev)
+		}
+		prev = got
+	}
+}

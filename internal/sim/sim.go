@@ -372,7 +372,12 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 	totalEnd := dev.TotalEndurance()
 	limit := cfg.MaxDemandWrites
 	if limit == 0 {
-		limit = 2 * totalEnd
+		// Full-scale geometries (8Mi pages × 10^8 endurance ≈ 2^63 total)
+		// would overflow the doubling; saturate instead of wrapping to a
+		// tiny cap.
+		if limit = 2 * totalEnd; limit < totalEnd {
+			limit = ^uint64(0)
+		}
 	}
 	timing := dev.Timing()
 	checker, _ := s.(wl.Checker)

@@ -1,0 +1,195 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"twl/internal/snap"
+)
+
+// Packed table variants: the wide tables index with int (8 bytes per entry,
+// 16 per remap entry with the inverse), which at the paper's full geometry
+// (8Mi pages) puts the RT alone at 128 MB. Page addresses fit in uint32 up
+// to 4Gi pages, so the packed variants store both mapping directions as
+// uint32 — quartering the RT and SWPT — while keeping the int-based method
+// surface, the invariants and the snapshot wire format of the wide types
+// (snapshots encode entries as int64 either way, so a checkpoint taken with
+// packed tables restores into wide ones and vice versa). The wide types
+// remain the reference implementation; the packed engine (internal/core)
+// selects these when the geometry fits.
+
+// MaxPackedPages is the largest page count the packed tables can address.
+const MaxPackedPages = 1 << 32
+
+// Remap32 is the packed remapping table (RT): the same LA ⇄ PA bijection as
+// Remap, stored as uint32 in both directions (8 B/page instead of 16).
+type Remap32 struct {
+	toPhys []uint32 // LA → PA
+	toLog  []uint32 // PA → LA
+}
+
+// NewRemap32 returns an identity mapping over n pages.
+func NewRemap32(n int) (*Remap32, error) {
+	if n < 0 || n > MaxPackedPages {
+		return nil, fmt.Errorf("tables: %d pages outside packed range [0,%d]", n, MaxPackedPages)
+	}
+	r := &Remap32{
+		toPhys: make([]uint32, n),
+		toLog:  make([]uint32, n),
+	}
+	for i := 0; i < n; i++ {
+		r.toPhys[i] = uint32(i)
+		r.toLog[i] = uint32(i)
+	}
+	return r, nil
+}
+
+// Len returns the number of pages mapped.
+func (r *Remap32) Len() int { return len(r.toPhys) }
+
+// Phys returns the physical page currently backing logical page la.
+func (r *Remap32) Phys(la int) int { return int(r.toPhys[la]) }
+
+// Log returns the logical page currently mapped to physical page pa.
+func (r *Remap32) Log(pa int) int { return int(r.toLog[pa]) }
+
+// PhysTable returns the LA → PA table itself, for bulk readers (same
+// contract as Remap.PhysTable: read-only, invalidated by a Swap).
+func (r *Remap32) PhysTable() []uint32 { return r.toPhys }
+
+// SwapLogical exchanges the physical pages backing logical addresses la1
+// and la2.
+func (r *Remap32) SwapLogical(la1, la2 int) {
+	p1, p2 := r.toPhys[la1], r.toPhys[la2]
+	r.toPhys[la1], r.toPhys[la2] = p2, p1
+	r.toLog[p1], r.toLog[p2] = uint32(la2), uint32(la1)
+}
+
+// CheckBijection verifies RT ∘ RT⁻¹ = identity.
+func (r *Remap32) CheckBijection() error {
+	for la, pa := range r.toPhys {
+		if int(pa) >= len(r.toLog) {
+			return fmt.Errorf("tables: LA %d maps to out-of-range PA %d", la, pa)
+		}
+		if int(r.toLog[pa]) != la {
+			return fmt.Errorf("tables: LA %d → PA %d but PA %d → LA %d",
+				la, pa, pa, r.toLog[pa])
+		}
+	}
+	return nil
+}
+
+// Snapshot serializes both directions in Remap's wire format (int64
+// entries), so packed and wide checkpoints interoperate.
+func (r *Remap32) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	writeU32sAsInts(sw, r.toPhys)
+	writeU32sAsInts(sw, r.toLog)
+	return sw.Err()
+}
+
+// Restore loads a mapping written by Remap.Snapshot or Remap32.Snapshot.
+func (r *Remap32) Restore(rd io.Reader) error {
+	sr := snap.NewReader(rd)
+	if err := readIntsIntoU32s(sr, r.toPhys, "remap toPhys"); err != nil {
+		return err
+	}
+	if err := readIntsIntoU32s(sr, r.toLog, "remap toLog"); err != nil {
+		return err
+	}
+	return r.CheckBijection()
+}
+
+// Pair32 is the packed strong-weak pair table (SWPT): the same fixed-point-
+// free involution as PairTable, stored as uint32 (4 B/page instead of 8).
+// Pairings are endurance-derived statics, so Pair32 is built from a wide
+// PairTable once at engine construction and has no snapshot.
+type Pair32 struct {
+	partner []uint32
+}
+
+// NewPair32 packs a fully-bound wide pair table.
+func NewPair32(p *PairTable) (*Pair32, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	if p.Len() > MaxPackedPages {
+		return nil, fmt.Errorf("tables: %d pages outside packed range [0,%d]", p.Len(), MaxPackedPages)
+	}
+	q := &Pair32{partner: make([]uint32, p.Len())}
+	for i := range q.partner {
+		q.partner[i] = uint32(p.Partner(i))
+	}
+	return q, nil
+}
+
+// Len returns the number of pages.
+func (p *Pair32) Len() int { return len(p.partner) }
+
+// Partner returns the partner of page a.
+func (p *Pair32) Partner(a int) int { return int(p.partner[a]) }
+
+// Check verifies the involution invariant.
+func (p *Pair32) Check() error {
+	for i, q := range p.partner {
+		if int(q) >= len(p.partner) {
+			return fmt.Errorf("tables: page %d has invalid partner %d", i, q)
+		}
+		if int(q) == i {
+			return fmt.Errorf("tables: page %d paired with itself", i)
+		}
+		if int(p.partner[q]) != i {
+			return fmt.Errorf("tables: pairing not symmetric: %d→%d but %d→%d",
+				i, q, q, p.partner[q])
+		}
+	}
+	return nil
+}
+
+// writeU32sAsInts emits a packed column in the wide []int wire format.
+func writeU32sAsInts(sw *snap.Writer, vs []uint32) {
+	sw.U32(uint32(len(vs)))
+	for _, v := range vs {
+		sw.I64(int64(v))
+	}
+}
+
+// readIntsIntoU32s fills a packed column from the wide []int wire format,
+// rejecting entries outside the uint32 range.
+func readIntsIntoU32s(sr *snap.Reader, dst []uint32, what string) error {
+	if got := sr.U32(); sr.Err() == nil && int(got) != len(dst) {
+		return fmt.Errorf("tables: %s length %d does not match destination %d", what, got, len(dst))
+	}
+	for i := range dst {
+		v := sr.I64()
+		if v < 0 || v >= MaxPackedPages {
+			return fmt.Errorf("tables: %s entry %d = %d outside packed range", what, i, v)
+		}
+		dst[i] = uint32(v)
+	}
+	return sr.Err()
+}
+
+// Bytes accounting: every table reports the heap bytes of its per-page
+// state, so engines can itemize their memory footprint for the BENCH
+// bytes-per-page audit. Slice headers and bookkeeping are excluded — the
+// arrays dominate by orders of magnitude at any interesting geometry.
+
+// Bytes returns the table's per-page state size in bytes.
+func (r *Remap) Bytes() int64 { return int64(len(r.toPhys))*8 + int64(len(r.toLog))*8 }
+
+// Bytes returns the table's per-page state size in bytes.
+func (r *Remap32) Bytes() int64 { return int64(len(r.toPhys))*4 + int64(len(r.toLog))*4 }
+
+// Bytes returns the table's per-page state size in bytes (the touched list
+// grows and shrinks with the workload; it is counted at its current size).
+func (w *WriteCounts) Bytes() int64 { return int64(len(w.counts))*8 + int64(len(w.touched))*8 }
+
+// Bytes returns the table's per-page state size in bytes.
+func (p *PairTable) Bytes() int64 { return int64(len(p.partner)) * 8 }
+
+// Bytes returns the table's per-page state size in bytes.
+func (p *Pair32) Bytes() int64 { return int64(len(p.partner)) * 4 }
+
+// Bytes returns the table's per-page state size in bytes.
+func (c *Counter) Bytes() int64 { return int64(len(c.counts)) }

@@ -1,0 +1,214 @@
+package tables
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"twl/internal/snap"
+)
+
+// TestRemap32MatchesRemap drives the packed and wide remap tables through
+// the same random swap sequence and requires identical mappings throughout.
+func TestRemap32MatchesRemap(t *testing.T) {
+	const n = 257
+	wide := NewRemap(n)
+	packed, err := NewRemap32(n)
+	if err != nil {
+		t.Fatalf("NewRemap32: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for op := 0; op < 2000; op++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		wide.SwapLogical(a, b)
+		packed.SwapLogical(a, b)
+	}
+	if err := packed.CheckBijection(); err != nil {
+		t.Fatalf("packed bijection: %v", err)
+	}
+	for la := 0; la < n; la++ {
+		if wide.Phys(la) != packed.Phys(la) {
+			t.Fatalf("Phys(%d): wide %d, packed %d", la, wide.Phys(la), packed.Phys(la))
+		}
+		if wide.Log(la) != packed.Log(la) {
+			t.Fatalf("Log(%d): wide %d, packed %d", la, wide.Log(la), packed.Log(la))
+		}
+	}
+	pt := packed.PhysTable()
+	for la, pa := range wide.PhysTable() {
+		if int(pt[la]) != pa {
+			t.Fatalf("PhysTable[%d]: wide %d, packed %d", la, pa, pt[la])
+		}
+	}
+}
+
+// TestRemap32SnapshotInterop requires byte-identical snapshots from packed
+// and wide tables in the same state, and cross-restores in both directions.
+func TestRemap32SnapshotInterop(t *testing.T) {
+	const n = 64
+	wide := NewRemap(n)
+	packed, err := NewRemap32(n)
+	if err != nil {
+		t.Fatalf("NewRemap32: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 300; op++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		wide.SwapLogical(a, b)
+		packed.SwapLogical(a, b)
+	}
+
+	var wbuf, pbuf bytes.Buffer
+	if err := wide.Snapshot(&wbuf); err != nil {
+		t.Fatalf("wide snapshot: %v", err)
+	}
+	if err := packed.Snapshot(&pbuf); err != nil {
+		t.Fatalf("packed snapshot: %v", err)
+	}
+	if !bytes.Equal(wbuf.Bytes(), pbuf.Bytes()) {
+		t.Fatalf("snapshot bytes differ: wide %d bytes, packed %d bytes", wbuf.Len(), pbuf.Len())
+	}
+
+	// Wide snapshot → packed table.
+	restoredPacked, err := NewRemap32(n)
+	if err != nil {
+		t.Fatalf("NewRemap32: %v", err)
+	}
+	if err := restoredPacked.Restore(bytes.NewReader(wbuf.Bytes())); err != nil {
+		t.Fatalf("restore wide snapshot into packed: %v", err)
+	}
+	// Packed snapshot → wide table.
+	restoredWide := NewRemap(n)
+	if err := restoredWide.Restore(bytes.NewReader(pbuf.Bytes())); err != nil {
+		t.Fatalf("restore packed snapshot into wide: %v", err)
+	}
+	for la := 0; la < n; la++ {
+		if restoredPacked.Phys(la) != wide.Phys(la) {
+			t.Fatalf("cross-restored packed Phys(%d) = %d, want %d", la, restoredPacked.Phys(la), wide.Phys(la))
+		}
+		if restoredWide.Phys(la) != packed.Phys(la) {
+			t.Fatalf("cross-restored wide Phys(%d) = %d, want %d", la, restoredWide.Phys(la), packed.Phys(la))
+		}
+	}
+}
+
+// TestRemap32RestoreRejects verifies length and range validation.
+func TestRemap32RestoreRejects(t *testing.T) {
+	src := NewRemap(8)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	wrongSize, err := NewRemap32(9)
+	if err != nil {
+		t.Fatalf("NewRemap32: %v", err)
+	}
+	if err := wrongSize.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into wrong-size table succeeded")
+	}
+
+	// A wide table can hold entries a packed table cannot; corrupt one entry
+	// to a negative value and require a loud failure.
+	neg := NewRemap(4)
+	neg.toPhys[2] = -1
+	var nbuf bytes.Buffer
+	sw := snap.NewWriter(&nbuf)
+	sw.Ints(neg.toPhys)
+	sw.Ints(neg.toLog)
+	if err := sw.Err(); err != nil {
+		t.Fatalf("write corrupt stream: %v", err)
+	}
+	dst, err := NewRemap32(4)
+	if err != nil {
+		t.Fatalf("NewRemap32: %v", err)
+	}
+	if err := dst.Restore(bytes.NewReader(nbuf.Bytes())); err == nil {
+		t.Fatal("restore of out-of-range entry succeeded")
+	}
+}
+
+// TestPair32MatchesPairTable builds a packed pair table from a wide one and
+// checks the involution carries over.
+func TestPair32MatchesPairTable(t *testing.T) {
+	const n = 32
+	wide, err := NewPairTable(n)
+	if err != nil {
+		t.Fatalf("NewPairTable: %v", err)
+	}
+	// Pair i with n-1-i — a fixed-point-free involution for even n.
+	for i := 0; i < n/2; i++ {
+		if err := wide.Bind(i, n-1-i); err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+	}
+	packed, err := NewPair32(wide)
+	if err != nil {
+		t.Fatalf("NewPair32: %v", err)
+	}
+	if err := packed.Check(); err != nil {
+		t.Fatalf("packed check: %v", err)
+	}
+	if packed.Len() != wide.Len() {
+		t.Fatalf("Len: packed %d, wide %d", packed.Len(), wide.Len())
+	}
+	for i := 0; i < n; i++ {
+		if packed.Partner(i) != wide.Partner(i) {
+			t.Fatalf("Partner(%d): packed %d, wide %d", i, packed.Partner(i), wide.Partner(i))
+		}
+	}
+}
+
+// TestPair32RejectsUnbound verifies NewPair32 refuses a partially-bound
+// table (Check fails on the -1 entries).
+func TestPair32RejectsUnbound(t *testing.T) {
+	wide, err := NewPairTable(4)
+	if err != nil {
+		t.Fatalf("NewPairTable: %v", err)
+	}
+	if _, err := NewPair32(wide); err == nil {
+		t.Fatal("NewPair32 accepted an unbound table")
+	}
+}
+
+// TestTableBytes spot-checks the Bytes accounting against the known layout.
+func TestTableBytes(t *testing.T) {
+	const n = 100
+	if got := NewRemap(n).Bytes(); got != 16*n {
+		t.Fatalf("Remap.Bytes = %d, want %d", got, 16*n)
+	}
+	r32, err := NewRemap32(n)
+	if err != nil {
+		t.Fatalf("NewRemap32: %v", err)
+	}
+	if got := r32.Bytes(); got != 8*n {
+		t.Fatalf("Remap32.Bytes = %d, want %d", got, 8*n)
+	}
+	wc := NewWriteCounts(n)
+	wc.Record(3)
+	wc.Record(7)
+	if got := wc.Bytes(); got != 8*n+16 {
+		t.Fatalf("WriteCounts.Bytes = %d, want %d", got, 8*n+16)
+	}
+	pt, err := NewPairTable(n)
+	if err != nil {
+		t.Fatalf("NewPairTable: %v", err)
+	}
+	if got := pt.Bytes(); got != 8*n {
+		t.Fatalf("PairTable.Bytes = %d, want %d", got, 8*n)
+	}
+	for i := 0; i < n/2; i++ {
+		if err := pt.Bind(i, n-1-i); err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+	}
+	p32, err := NewPair32(pt)
+	if err != nil {
+		t.Fatalf("NewPair32: %v", err)
+	}
+	if got := p32.Bytes(); got != 4*n {
+		t.Fatalf("Pair32.Bytes = %d, want %d", got, 4*n)
+	}
+	if got := NewCounter(n).Bytes(); got != n {
+		t.Fatalf("Counter.Bytes = %d, want %d", got, n)
+	}
+}

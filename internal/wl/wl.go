@@ -138,6 +138,38 @@ type Snapshotter interface {
 	Restore(r io.Reader) error
 }
 
+// MemoryReporter is implemented by schemes that can itemize the heap bytes
+// of their per-page metadata tables. The bench tools combine it with
+// pcm.Device.Footprint to report bytes-per-page for a whole stack, which is
+// how packed-table layouts prove their memory win.
+type MemoryReporter interface {
+	// TableBytes returns the total bytes of the scheme's per-page state
+	// (remap tables, counters, endurance copies); transient scratch space
+	// is included at its current size.
+	TableBytes() int64
+}
+
+// AsMemoryReporter finds the first MemoryReporter in a decorator stack,
+// probing each layer's body while walking Unwrap links from the outermost
+// layer inward (the same protocol as AsCapacityReporter — memory reporting
+// is an extension interface, not one of Wrap's preserved capabilities).
+func AsMemoryReporter(s Scheme) (MemoryReporter, bool) {
+	for s != nil {
+		if r, ok := s.(MemoryReporter); ok {
+			return r, true
+		}
+		u, ok := s.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		if r, ok := u.Body().(MemoryReporter); ok {
+			return r, true
+		}
+		s = u.Unwrap()
+	}
+	return nil, false
+}
+
 // RunWriter is the optional fast-forward interface for same-address write
 // runs. Schemes implement it by computing the distance to their next
 // internal event (gap move, refresh step, epoch rotation, toss-up, phase

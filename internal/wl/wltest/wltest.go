@@ -27,6 +27,26 @@ func NewDeviceEndurance(tb testing.TB, pages int, mean float64, seed uint64) *pc
 	return NewSpareDevice(tb, pages, 0, mean, seed)
 }
 
+// NewPackedDeviceEndurance builds the packed-storage twin of
+// NewDeviceEndurance: identical geometry, timing and endurance map, uint32
+// device arrays. Differential tests pair the two to prove storage width
+// never leaks into results.
+func NewPackedDeviceEndurance(tb testing.TB, pages int, mean float64, seed uint64) *pcm.Device {
+	tb.Helper()
+	geom := pcm.Geometry{Pages: pages, PageSize: 4096, LineSize: 128, Ranks: 4, Banks: 32}
+	end, err := pv.Generate(pv.Config{
+		Pages: pages, Mean: mean, Sigma: 0.11 * mean, Model: pv.Gaussian, Seed: seed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dev, err := pcm.NewPackedDevice(geom, pcm.DefaultTiming(), end)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dev
+}
+
 // NewSpareDevice builds a test device with spares spare pages behind the
 // visible array, drawing one Gaussian endurance map across both regions —
 // the spare pool is fabbed from the same process as the rest of the die.

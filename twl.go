@@ -85,6 +85,10 @@ type (
 	CapacityStats = wl.CapacityStats
 	// CapacityPoint is one retirement event on the capacity curve.
 	CapacityPoint = wl.CapacityPoint
+	// Footprint itemizes a device's per-page state arrays in bytes (see
+	// Device.Footprint); combined with TableBytesOf it yields the whole
+	// stack's bytes-per-page.
+	Footprint = pcm.Footprint
 )
 
 // Attack modes (Figure 6).
@@ -121,6 +125,12 @@ type SystemConfig struct {
 	// retirement decorator (WithRetirement) remaps a failed page onto one.
 	// Typical provisioning is 2–5% of Pages.
 	SparePages int
+	// Packed selects compact device storage (uint32 wear counters, uint8
+	// inter-pair state) — half the bytes per page with bit-identical
+	// results. Requires MeanEndurance to leave headroom under the packed
+	// counter width; NewDevice validates. TWL additionally switches to its
+	// packed engine on a packed device (core.NewAuto).
+	Packed bool
 	// Seed drives the endurance map and every scheme RNG derived from it.
 	Seed uint64
 }
@@ -212,6 +222,9 @@ func (c SystemConfig) NewDevice() (*Device, error) {
 		Banks:      32,
 		SparePages: c.SparePages,
 	}
+	if c.Packed {
+		return pcm.NewPackedDevice(geom, pcm.DefaultTiming(), end)
+	}
 	return pcm.NewDevice(geom, pcm.DefaultTiming(), end)
 }
 
@@ -293,6 +306,19 @@ func CapacityOf(s Scheme) (CapacityStats, bool) {
 		return CapacityStats{}, false
 	}
 	return rep.CapacityStats(), true
+}
+
+// TableBytesOf reports the heap bytes of the scheme's per-page metadata
+// tables, searching the decorator stack for a memory-reporting layer; ok is
+// false when no layer itemizes its memory (schemes other than TWL do not
+// yet). Add the scheme's Device().Footprint().Total() for the full
+// simulated-controller footprint.
+func TableBytesOf(s Scheme) (int64, bool) {
+	rep, ok := wl.AsMemoryReporter(s)
+	if !ok {
+		return 0, false
+	}
+	return rep.TableBytes(), true
 }
 
 // NewTWL constructs a TWL engine with an explicit configuration, for users
