@@ -2,7 +2,7 @@
 # analysis (go vet plus the project's own twlint suite), build, the full
 # race-enabled test suite and a single-iteration benchmark smoke (catches
 # bit-rot in the hot-loop benchmarks without spending benchmark time).
-.PHONY: check fmt vet lint budget build test bench benchsmoke bigbench bigbenchsmoke fuzzsmoke
+.PHONY: check fmt vet lint budget build test bench benchsmoke bigbench bigbenchsmoke fuzzsmoke servesmoke
 
 check: fmt vet lint build test benchsmoke
 
@@ -61,6 +61,14 @@ bigbench:
 
 bigbenchsmoke:
 	go run ./cmd/bigbench -pages 65536 -endurance 3000 -out BIGBENCH_CI.json
+
+# Service crash-safety end-to-end: boot twlsimd, submit a grid over HTTP,
+# SIGKILL the daemon mid-cell, restart it on the same state directory and
+# verify the job completes from the surviving checkpoints and that an
+# identical resubmission is a pure cache hit. Mirrors resume_check.sh at
+# the service layer.
+servesmoke:
+	./scripts/serve_check.sh
 
 # Short fuzz pass over every fuzz target (CI runs this; locally useful
 # before touching the trace readers, the Feistel network or the remap table).

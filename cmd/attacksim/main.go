@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"twl"
+	"twl/internal/cliutil"
 	"twl/internal/obs"
 	"twl/internal/report"
 )
@@ -42,6 +43,15 @@ func main() {
 		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
+	cliutil.Check("attacksim", cliutil.FirstError(
+		cliutil.NoArgs(flag.Args()),
+		cliutil.NonNegativeInt("-pages", *pages),
+		cliutil.NonNegativeFloat("-endurance", *endurance),
+		cliutil.NonNegativeInt("-requests", *requests),
+		cliutil.NonNegativeInt("-replicate", *replicate),
+		cliutil.Fraction("-spare-frac", *spareFrac, true),
+		cliutil.Fraction("-retire-threshold", *retireThr, true),
+	))
 	if !*fig6 && !*fig7 && !*retire {
 		*fig6 = true
 		*fig7 = true

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"twl"
+	"twl/internal/cliutil"
 	"twl/internal/obs"
 	"twl/internal/report"
 )
@@ -35,6 +36,12 @@ func main() {
 		pprofPfx   = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
+	cliutil.Check("benchsim", cliutil.FirstError(
+		cliutil.NoArgs(flag.Args()),
+		cliutil.NonNegativeInt("-pages", *pages),
+		cliutil.NonNegativeFloat("-endurance", *endurance),
+		cliutil.NonNegativeInt("-requests", *requests),
+	))
 	if !*table2 && !*fig8 && !*fig9 {
 		*table2, *fig8, *fig9 = true, true, true
 	}

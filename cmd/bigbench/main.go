@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"twl"
+	"twl/internal/cliutil"
 	"twl/internal/clock"
 )
 
@@ -76,17 +77,15 @@ func main() {
 	out := flag.String("out", "BIGBENCH.json", "output JSON path (empty: stdout only)")
 	flag.Parse()
 
-	modes := map[string]twl.AttackMode{
-		"repeat":       twl.AttackRepeat,
-		"random":       twl.AttackRandom,
-		"scan":         twl.AttackScan,
-		"inconsistent": twl.AttackInconsistent,
-	}
-	mode, ok := modes[*attackName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "bigbench: unknown attack %q\n", *attackName)
-		os.Exit(2)
-	}
+	cliutil.Check("bigbench", cliutil.FirstError(
+		cliutil.NoArgs(flag.Args()),
+		cliutil.PositiveInt("-pages", *pages),
+		cliutil.PositiveFloat("-endurance", *endurance),
+		cliutil.NonNegativeInt("-shards", *shards),
+		cliutil.Requires("-resume", *resume, "-ckpt", *ckpt != ""),
+	))
+	mode, err := twl.ParseAttackMode(*attackName)
+	cliutil.Check("bigbench", err)
 
 	sys := twl.SystemConfig{
 		Pages:         *pages,

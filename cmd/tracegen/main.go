@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"twl/internal/cliutil"
 	"twl/internal/obs"
 	"twl/internal/report"
 	"twl/internal/trace"
@@ -34,6 +35,11 @@ func main() {
 		pprofPfx = flag.String("pprof", "", "capture CPU+heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
+	cliutil.Check("tracegen", cliutil.FirstError(
+		cliutil.NoArgs(flag.Args()),
+		cliutil.PositiveInt("-n", *n),
+		cliutil.PositiveInt("-pages", *pages),
+	))
 
 	if *pprofPfx != "" {
 		stop, err := obs.StartProfile(*pprofPfx)

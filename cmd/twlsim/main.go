@@ -22,6 +22,7 @@ import (
 
 	"twl"
 	"twl/internal/attack"
+	"twl/internal/cliutil"
 	"twl/internal/obs"
 	"twl/internal/pcm"
 	"twl/internal/report"
@@ -58,21 +59,22 @@ func main() {
 		printConfig()
 		return
 	}
-	if *resume && *ckptFile == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint"))
-	}
+	cliutil.Check("twlsim", cliutil.FirstError(
+		cliutil.NoArgs(flag.Args()),
+		cliutil.NonNegativeInt("-pages", *pages),
+		cliutil.NonNegativeFloat("-endurance", *endurance),
+		cliutil.Exclusive("-attack", *attackMode != "", "-bench", *bench != ""),
+		cliutil.Requires("-resume", *resume, "-checkpoint", *ckptFile != ""),
+		cliutil.Fraction("-spare-frac", *spareFrac, true),
+		cliutil.Fraction("-retire-threshold", *retireThr, true),
+		cliutil.Requires("-retire-threshold", *retireThr != 0, "-spare-frac", *spareFrac != 0),
+		cliutil.Requires("-curve", *curveFile != "", "-spare-frac", *spareFrac != 0),
+	))
 
 	if *pprofPfx != "" {
 		stop, err := obs.StartProfile(*pprofPfx)
 		fatal(err)
 		defer func() { fatal(stop()) }()
-	}
-
-	if *retireThr != 0 && *spareFrac == 0 {
-		fatal(fmt.Errorf("-retire-threshold requires -spare-frac"))
-	}
-	if *curveFile != "" && *spareFrac == 0 {
-		fatal(fmt.Errorf("-curve requires -spare-frac"))
 	}
 
 	sys := twl.DefaultSystem(*seed)
@@ -95,10 +97,8 @@ func main() {
 	var src sim.Source
 	var ideal float64
 	switch {
-	case *attackMode != "" && *bench != "":
-		fatal(fmt.Errorf("choose either -attack or -bench, not both"))
 	case *attackMode != "":
-		mode, err := parseMode(*attackMode)
+		mode, err := twl.ParseAttackMode(*attackMode)
 		fatal(err)
 		st, err := attack.New(attack.DefaultConfig(mode, sys.Pages, *seed+11))
 		fatal(err)
@@ -227,15 +227,6 @@ func printConfig() {
 	for _, d := range twl.SchemeDocs() {
 		fmt.Println("  " + d)
 	}
-}
-
-func parseMode(s string) (attack.Mode, error) {
-	for _, m := range attack.Modes() {
-		if m.String() == s {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown attack %q (repeat, random, scan, inconsistent)", s)
 }
 
 // writeCurve dumps the capacity-vs-writes curve as CSV: one row per

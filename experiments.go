@@ -37,6 +37,56 @@ func lifetimeScheme(name string, dev *Device, seed uint64, sys SystemConfig) (Sc
 }
 
 // ------------------------------------------------------------------------
+// Grid cells: the single-cell runners every scheduler shares.
+// ------------------------------------------------------------------------
+
+// RunAttackCell runs one scheme × attack lifetime cell with exactly the
+// construction RunFig6 uses for each bar — the same device, the same
+// derived seeds (scheme at Seed+7, attack at Seed+11) and the same SR
+// interval rescaling — so any scheduler that executes cells independently
+// (the parallel grid runner, the twlsimd service) reproduces a Figure 6
+// cell byte-for-byte, including its metrics and trace payloads when lc
+// carries sinks.
+func RunAttackCell(sys SystemConfig, scheme string, mode AttackMode, lc LifetimeConfig) (LifetimeResult, error) {
+	dev, err := sys.NewDevice()
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	s, err := lifetimeScheme(scheme, dev, sys.Seed+7, sys)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	st, err := attack.New(attack.DefaultConfig(mode, sys.Pages, sys.Seed+11))
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	return sim.RunLifetime(s, sim.FromAttack(st), lc)
+}
+
+// RunBenchCell is RunAttackCell's benchmark counterpart: one scheme ×
+// PARSEC-workload lifetime cell, constructed exactly as RunFig8 builds each
+// bar (scheme at Seed+13, synthetic workload at Seed+17).
+func RunBenchCell(sys SystemConfig, scheme, bench string, lc LifetimeConfig) (LifetimeResult, error) {
+	b, err := trace.BenchmarkByName(bench)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	dev, err := sys.NewDevice()
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	s, err := lifetimeScheme(scheme, dev, sys.Seed+13, sys)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	g, err := trace.NewSynthetic(b, sys.Pages, sys.Seed+17)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	return sim.RunLifetime(s, sim.FromWorkload(g), lc)
+}
+
+// ------------------------------------------------------------------------
 // Table 2: PARSEC write bandwidths, ideal lifetimes, lifetimes w/o WL.
 // ------------------------------------------------------------------------
 
@@ -159,19 +209,7 @@ func RunFig6(sys SystemConfig, cfg Fig6Config) (*Fig6Result, error) {
 		for j, mode := range cfg.Modes {
 			i, j, name, mode := i, j, name, mode
 			tasks = append(tasks, cellTask{name: fmt.Sprintf("fig6/%s/%v", name, mode), run: func() error {
-				dev, err := sys.NewDevice()
-				if err != nil {
-					return err
-				}
-				s, err := lifetimeScheme(name, dev, sys.Seed+7, sys)
-				if err != nil {
-					return err
-				}
-				st, err := attack.New(attack.DefaultConfig(mode, sys.Pages, sys.Seed+11))
-				if err != nil {
-					return err
-				}
-				res, err := sim.RunLifetime(s, sim.FromAttack(st), sim.LifetimeConfig{})
+				res, err := RunAttackCell(sys, name, mode, LifetimeConfig{})
 				if err != nil {
 					return fmt.Errorf("fig6 %s/%v: %w", name, mode, err)
 				}
@@ -377,27 +415,16 @@ func RunFig8(sys SystemConfig, cfg Fig8Config) (*Fig8Result, error) {
 	grid := make([][]float64, len(benchNames))
 	var tasks []cellTask
 	for i, bn := range benchNames {
-		b, err := trace.BenchmarkByName(bn)
-		if err != nil {
+		// Validate the name before queueing cells, so a typo fails the grid
+		// up front rather than mid-run.
+		if _, err := trace.BenchmarkByName(bn); err != nil {
 			return nil, err
 		}
 		grid[i] = make([]float64, len(cfg.Schemes))
 		for j, name := range cfg.Schemes {
-			i, j, bn, name, b := i, j, bn, name, b
+			i, j, bn, name := i, j, bn, name
 			tasks = append(tasks, cellTask{name: fmt.Sprintf("fig8/%s/%s", bn, name), run: func() error {
-				dev, err := sys.NewDevice()
-				if err != nil {
-					return err
-				}
-				s, err := lifetimeScheme(name, dev, sys.Seed+13, sys)
-				if err != nil {
-					return err
-				}
-				g, err := trace.NewSynthetic(b, sys.Pages, sys.Seed+17)
-				if err != nil {
-					return err
-				}
-				res, err := sim.RunLifetime(s, sim.FromWorkload(g), sim.LifetimeConfig{})
+				res, err := RunBenchCell(sys, name, bn, LifetimeConfig{})
 				if err != nil {
 					return fmt.Errorf("fig8 %s/%s: %w", bn, name, err)
 				}

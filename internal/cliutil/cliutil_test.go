@@ -1,0 +1,121 @@
+package cliutil
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFraction covers the audit's motivating regression: a negative
+// -spare-frac used to slip through a `!= 0` guard.
+func TestFraction(t *testing.T) {
+	cases := []struct {
+		v      float64
+		zeroOK bool
+		ok     bool
+	}{
+		{-0.01, true, false}, // the regression: negative fraction
+		{-0.01, false, false},
+		{0, true, true}, // feature off
+		{0, false, false},
+		{0.05, true, true},
+		{0.999, true, true},
+		{1, true, false}, // a full-device spare pool is not a fraction
+		{1.5, true, false},
+		{math.Inf(1), true, false},
+	}
+	for _, tc := range cases {
+		err := Fraction("-spare-frac", tc.v, tc.zeroOK)
+		if (err == nil) != tc.ok {
+			t.Errorf("Fraction(%g, zeroOK=%v) = %v, want ok=%v", tc.v, tc.zeroOK, err, tc.ok)
+		}
+	}
+}
+
+// TestRequires covers the other motivating regression: bigbench accepted
+// -resume with no checkpoint directory to resume from.
+func TestRequires(t *testing.T) {
+	if err := Requires("-resume", true, "-ckpt", false); err == nil {
+		t.Error("resume without checkpoint accepted")
+	} else if !strings.Contains(err.Error(), "-resume requires -ckpt") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	if err := Requires("-resume", true, "-ckpt", true); err != nil {
+		t.Errorf("resume with checkpoint rejected: %v", err)
+	}
+	if err := Requires("-resume", false, "-ckpt", false); err != nil {
+		t.Errorf("unset flag triggered dependency: %v", err)
+	}
+}
+
+func TestNumericValidators(t *testing.T) {
+	if err := NonNegativeInt("-pages", -1); err == nil {
+		t.Error("negative int accepted")
+	}
+	if err := NonNegativeInt("-pages", 0); err != nil {
+		t.Errorf("zero rejected: %v", err)
+	}
+	if err := PositiveInt("-n", 0); err == nil {
+		t.Error("zero accepted as positive")
+	}
+	if err := PositiveInt("-n", 1); err != nil {
+		t.Errorf("one rejected: %v", err)
+	}
+	if err := PositiveFloat("-endurance", 0); err == nil {
+		t.Error("zero accepted as positive float")
+	}
+	if err := NonNegativeFloat("-endurance", -0.5); err == nil {
+		t.Error("negative float accepted")
+	}
+}
+
+func TestArgsAndStrings(t *testing.T) {
+	if err := NoArgs(nil); err != nil {
+		t.Errorf("empty args rejected: %v", err)
+	}
+	err := NoArgs([]string{"out.json"})
+	if err == nil || !strings.Contains(err.Error(), "out.json") {
+		t.Errorf("stray argument not named: %v", err)
+	}
+	if err := Required("-data", ""); err == nil {
+		t.Error("empty required flag accepted")
+	}
+	if err := Required("-data", "/tmp/x"); err != nil {
+		t.Errorf("set required flag rejected: %v", err)
+	}
+	if err := Exclusive("-attack", true, "-bench", true); err == nil {
+		t.Error("both exclusive flags accepted")
+	}
+	if err := Exclusive("-attack", true, "-bench", false); err != nil {
+		t.Errorf("single exclusive flag rejected: %v", err)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	if got := FirstError(nil, e1, e2); got != e1 {
+		t.Errorf("FirstError = %v, want first", got)
+	}
+	if got := FirstError(nil, nil); got != nil {
+		t.Errorf("FirstError of nils = %v", got)
+	}
+}
+
+// TestCheck uses the exit seam to verify Check routes errors to the exit
+// path exactly once, tagged with the tool name, and ignores nil.
+func TestCheck(t *testing.T) {
+	old := exit
+	defer func() { exit = old }()
+	var calls []string
+	exit = func(tool string, err error) { calls = append(calls, tool+": "+err.Error()) }
+
+	Check("twlsim", nil)
+	if len(calls) != 0 {
+		t.Fatalf("Check(nil) exited: %v", calls)
+	}
+	Check("twlsim", errors.New("-pages must be non-negative, got -1"))
+	if len(calls) != 1 || calls[0] != "twlsim: -pages must be non-negative, got -1" {
+		t.Fatalf("Check routed %v", calls)
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+)
+
+// TraceBuffer is an in-memory trace sink safe for concurrent writers and
+// readers: workers append JSONL events through a Tracer while HTTP handlers
+// snapshot the accumulated stream. A plain bytes.Buffer races between
+// Tracer.Emit and a reader; this wrapper serializes both sides.
+type TraceBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer //twl:guardedby mu
+}
+
+// Write appends p to the buffer. It never fails (the error return satisfies
+// io.Writer).
+func (b *TraceBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// Bytes returns a copy of the accumulated stream, safe to use after further
+// writes.
+func (b *TraceBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// Len reports the accumulated byte count.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}

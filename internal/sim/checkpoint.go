@@ -125,16 +125,35 @@ func (l *lifetimeState) initCkptMetrics(reg *obs.Registry) {
 	l.ckptSecs = reg.Histogram("twl_ckpt_seconds", obs.ExponentialBuckets(1e-4, 4, 10))
 }
 
-// ckptAt writes a checkpoint when demand sits on the configured cadence.
-// Called by the request loops after a write's accounting, invariant check
-// and failure check, so a checkpoint always captures a consistent,
-// non-failed state. A checkpoint that cannot be written aborts the run: a
-// caller who asked for crash safety must not silently lose it.
+// ckptAt writes a checkpoint when demand sits on the configured cadence,
+// then polls the preemption hook when one is set. Called by the request
+// loops after a write's accounting, invariant check and failure check, so a
+// checkpoint always captures a consistent, non-failed state. A checkpoint
+// that cannot be written aborts the run: a caller who asked for crash
+// safety must not silently lose it.
+//
+// A stop request returns an error wrapping ErrRunStopped; with
+// checkpointing configured, a final checkpoint is written at the stop point
+// first (unless the cadence checkpoint above just captured this exact
+// demand count), so a preempted run resumes from where it stopped.
 func (l *lifetimeState) ckptAt() error {
-	if l.ckptEvery == 0 || l.demand == 0 || l.demand%l.ckptEvery != 0 {
-		return nil
+	if l.ckptEvery != 0 && l.demand != 0 && l.demand%l.ckptEvery == 0 {
+		if err := l.writeCheckpoint(); err != nil {
+			return err
+		}
 	}
-	return l.writeCheckpoint()
+	if l.stop != nil && l.demand >= l.nextStop {
+		l.nextStop = l.demand + l.stopEvery
+		if l.stop() {
+			if l.ckptEvery != 0 && l.demand%l.ckptEvery != 0 {
+				if err := l.writeCheckpoint(); err != nil {
+					return err
+				}
+			}
+			return fmt.Errorf("%w after %d demand writes", ErrRunStopped, l.demand)
+		}
+	}
+	return nil
 }
 
 // writeCheckpoint serializes the full run state into the checkpoint file.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -322,5 +323,76 @@ func TestCheckpointFileFormat(t *testing.T) {
 		if strings.Contains(e.Name(), ".tmp-") {
 			t.Errorf("temp checkpoint file %s survived the atomic rename", e.Name())
 		}
+	}
+}
+
+// TestStopPreemption pins the preemption contract: a run whose Stop hook
+// fires winds down with ErrRunStopped after writing a final checkpoint, and
+// resuming that checkpoint with Stop unset completes bit-identically to a
+// run that was never preempted.
+func TestStopPreemption(t *testing.T) {
+	build := registryFactory("TWL_swp")
+	baseline := ckptRunOne(t, build, "repeat", false, 0, nil)
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	s := build(t)
+	polled := false
+	res, err := RunLifetime(s, diffSource(t, "repeat", demandPages(s)), LifetimeConfig{
+		Checkpoint: &CheckpointConfig{Path: path, Every: ckptCadence},
+		Stop:       func() bool { polled = true; return true },
+	})
+	if !errors.Is(err, ErrRunStopped) {
+		t.Fatalf("preempted run returned %v, want ErrRunStopped", err)
+	}
+	if !polled {
+		t.Fatal("Stop hook was never polled")
+	}
+	if res.FailedPage >= 0 {
+		t.Fatalf("preempted run reports a failed page: %+v", res)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint at the stop point: %v", err)
+	}
+
+	s2 := build(t)
+	resumed, err := RunLifetime(s2, diffSource(t, "repeat", demandPages(s2)), LifetimeConfig{
+		Checkpoint: &CheckpointConfig{Path: path, Every: ckptCadence, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != baseline.res {
+		t.Errorf("resumed result differs from uninterrupted baseline:\n  resumed  %+v\n  baseline %+v", resumed, baseline.res)
+	}
+	dev := s2.Device()
+	for pp := 0; pp < dev.Pages(); pp++ {
+		if dev.Wear(pp) != baseline.wear[pp] || dev.Peek(pp) != baseline.payload[pp] {
+			t.Fatalf("page %d wear/payload diverged after preempted resume", pp)
+		}
+	}
+}
+
+// TestStopWithoutCheckpoint: with no checkpoint configured the hook is
+// polled at DefaultCheckpointEvery; the run still winds down cleanly, it
+// just cannot be resumed.
+func TestStopWithoutCheckpoint(t *testing.T) {
+	dev := wltest.NewDeviceEndurance(t, 64, 1<<20, diffSeed)
+	s, err := wl.Default.New("StartGap", dev, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := diffSource(t, "repeat", demandPages(s))
+	stops := 0
+	res, err := RunLifetime(s, src, LifetimeConfig{
+		Stop: func() bool { stops++; return true },
+	})
+	if !errors.Is(err, ErrRunStopped) {
+		t.Fatalf("got %v, want ErrRunStopped", err)
+	}
+	if stops != 1 {
+		t.Errorf("Stop polled %d times, want 1", stops)
+	}
+	if res.FailedPage >= 0 || res.Capped {
+		t.Errorf("preempted run reports completion: %+v", res)
 	}
 }

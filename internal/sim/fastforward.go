@@ -62,13 +62,21 @@ type lifetimeState struct {
 	ckptTotal *obs.Counter
 	ckptBytes *obs.Gauge
 	ckptSecs  *obs.Histogram
+
+	// Preemption (see LifetimeConfig.Stop). nextStop is the demand count at
+	// which stop is next polled; it advances by stopEvery whether or not the
+	// poll fires, so bulk chunks that overshoot a poll point don't pile up
+	// extra polls.
+	stop      func() bool
+	stopEvery uint64
+	nextStop  uint64
 }
 
 // perRequestLoop is the baseline path: one Source.Next, one Write/Read per
 // iteration. The nil-metrics/nil-trace/nil-checker case runs a bare loop
 // with those branches hoisted out entirely.
 func (l *lifetimeState) perRequestLoop(src Source) error {
-	if l.metrics == nil && l.traceEvery == 0 && l.checkEvery == 0 && l.ckptEvery == 0 {
+	if l.metrics == nil && l.traceEvery == 0 && l.checkEvery == 0 && l.ckptEvery == 0 && l.stop == nil {
 		return l.perRequestBare(src)
 	}
 	for l.demand < l.limit {

@@ -239,7 +239,21 @@ type LifetimeConfig struct {
 	// and source must implement wl.Snapshotter or RunLifetime fails before
 	// serving any request.
 	Checkpoint *CheckpointConfig
+	// Stop, when non-nil, is polled at the checkpoint cadence (or
+	// DefaultCheckpointEvery when no checkpoint is configured); when it
+	// returns true the run winds down with an error wrapping ErrRunStopped.
+	// With checkpointing configured, a final checkpoint is written at the
+	// stop point first, so a preempted run resumes without losing work.
+	// Stop may be called from the simulation goroutine at any time and must
+	// be safe for concurrent use (an atomic flag, a context check).
+	Stop func() bool
 }
+
+// ErrRunStopped is returned (wrapped, with the demand count) when a run
+// winds down because LifetimeConfig.Stop reported true. It marks a
+// preempted run, not a failed one: with checkpointing configured the run
+// can be resumed and completed later.
+var ErrRunStopped = errors.New("sim: run stopped")
 
 // WearHistogramBuckets is the resolution of the wear/endurance snapshots in
 // trace progress events.
@@ -433,6 +447,15 @@ func RunLifetime(s wl.Scheme, src Source, cfg LifetimeConfig) (LifetimeResult, e
 				return LifetimeResult{}, fmt.Errorf("sim: resume from %s: %w", ckpt.Path, err)
 			}
 		}
+	}
+	if cfg.Stop != nil {
+		l.stop = cfg.Stop
+		if l.stopEvery = l.ckptEvery; l.stopEvery == 0 {
+			l.stopEvery = DefaultCheckpointEvery
+		}
+		// First poll after one full cadence past the (possibly resumed)
+		// starting demand count.
+		l.nextStop = l.demand + l.stopEvery
 	}
 	// A resumed run continues the interrupted trace stream mid-flight: the
 	// start event was already emitted (and its seq restored), so only fresh

@@ -21,6 +21,7 @@
 package snap
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Writer serializes primitives onto an io.Writer with error latching.
@@ -379,10 +381,13 @@ func (r *Reader) F64sInto(dst []float64) {
 //	crc     uint32  CRC-32C (Castagnoli) of the payload
 //	payload length bytes
 //
-// WriteFile buffers the payload in memory, then writes a temp file in the
-// destination directory, fsyncs it and renames it over the target, so a
-// crash mid-checkpoint leaves the previous checkpoint intact and a torn
-// write is caught by the length/CRC check on load.
+// WriteFile streams the payload straight into a temp file in the
+// destination directory — through a buffered writer and a running CRC-32C,
+// so the payload is never held in memory — then backfills the header,
+// fsyncs the file and renames it over the target. A crash mid-checkpoint
+// leaves the previous checkpoint intact (and at worst an orphaned temp
+// file; see SweepOrphans), and a torn write is caught by the length/CRC
+// check on load.
 
 // Magic identifies a checkpoint file.
 const Magic uint32 = 0x534C5754 // "TWLS" little-endian
@@ -394,47 +399,81 @@ const Version uint32 = 2
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// hdrLen is the fixed size of the file header (magic, version, length, crc).
+const hdrLen = 4 + 4 + 8 + 4
+
+// crcCountWriter passes writes through to an underlying writer while
+// maintaining a running CRC-32C and byte count, so WriteFile can stream an
+// arbitrarily large payload without ever holding it in memory.
+type crcCountWriter struct {
+	w   io.Writer
+	crc uint32
+	n   uint64
+}
+
+func (c *crcCountWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += uint64(n)
+	return n, err
+}
+
 // WriteFile atomically writes a checkpoint file at path whose payload is
-// produced by encode. It returns the total file size in bytes.
+// produced by encode. The payload is streamed to the temp file as encode
+// produces it (a full-geometry packed checkpoint would otherwise double the
+// engine's resident memory); the length/CRC header is backfilled once the
+// payload size and checksum are known, before the fsync + rename install.
+// It returns the total file size in bytes.
 func WriteFile(path string, encode func(*Writer) error) (int64, error) {
-	var buf bytes.Buffer
-	w := NewWriter(&buf)
-	if err := encode(w); err != nil {
-		return 0, fmt.Errorf("snap: encode: %w", err)
-	}
-	if err := w.Err(); err != nil {
-		return 0, fmt.Errorf("snap: encode: %w", err)
-	}
-	payload := buf.Bytes()
-
-	var hdr bytes.Buffer
-	hw := NewWriter(&hdr)
-	hw.U32(Magic)
-	hw.U32(Version)
-	hw.U64(uint64(len(payload)))
-	hw.U32(crc32.Checksum(payload, castagnoli))
-	if err := hw.Err(); err != nil {
-		return 0, err
-	}
-
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return 0, fmt.Errorf("snap: create temp checkpoint: %w", err)
 	}
 	cleanup := func() { _ = os.Remove(tmp.Name()) }
-	if _, err := tmp.Write(hdr.Bytes()); err == nil {
-		_, err = tmp.Write(payload)
-	}
-	if err != nil {
+	fail := func(stage string, err error) (int64, error) {
 		_ = tmp.Close()
 		cleanup()
-		return 0, fmt.Errorf("snap: write checkpoint: %w", err)
+		return 0, fmt.Errorf("snap: %s checkpoint: %w", stage, err)
+	}
+
+	// Reserve the header, stream the payload behind it through a buffered
+	// running-CRC writer, then backfill the real header.
+	var zero [hdrLen]byte
+	if _, err := tmp.Write(zero[:]); err != nil {
+		return fail("write", err)
+	}
+	cw := &crcCountWriter{w: tmp}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	w := NewWriter(bw)
+	if err := encode(w); err != nil {
+		_ = tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("snap: encode: %w", err)
+	}
+	if err := w.Err(); err != nil {
+		_ = tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("snap: encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("write", err)
+	}
+
+	var hdr bytes.Buffer
+	hw := NewWriter(&hdr)
+	hw.U32(Magic)
+	hw.U32(Version)
+	hw.U64(cw.n)
+	hw.U32(cw.crc)
+	if err := hw.Err(); err != nil {
+		return fail("encode header of", err)
+	}
+	if _, err := tmp.WriteAt(hdr.Bytes(), 0); err != nil {
+		return fail("write header of", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close()
-		cleanup()
-		return 0, fmt.Errorf("snap: sync checkpoint: %w", err)
+		return fail("sync", err)
 	}
 	if err := tmp.Close(); err != nil {
 		cleanup()
@@ -444,7 +483,35 @@ func WriteFile(path string, encode func(*Writer) error) (int64, error) {
 		cleanup()
 		return 0, fmt.Errorf("snap: install checkpoint: %w", err)
 	}
-	return int64(hdr.Len() + len(payload)), nil
+	return int64(hdrLen) + int64(cw.n), nil
+}
+
+// SweepOrphans removes orphaned checkpoint temp files (the "<name>.tmp-*"
+// files WriteFile creates and renames away) left in dir by a process killed
+// mid-install, so long-lived resume directories do not accumulate garbage.
+// It must not run concurrently with WriteFile calls targeting the same
+// directory — call it at startup, before any checkpoint writer is live. It
+// returns the number of files removed. A missing directory sweeps zero
+// files without error.
+func SweepOrphans(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("snap: sweep orphans: %w", err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("snap: sweep orphans: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
 }
 
 // ReadFile loads, verifies and decodes a checkpoint file written by
@@ -454,7 +521,6 @@ func ReadFile(path string, decode func(*Reader) error) error {
 	if err != nil {
 		return fmt.Errorf("snap: read checkpoint: %w", err)
 	}
-	const hdrLen = 4 + 4 + 8 + 4
 	if len(data) < hdrLen {
 		return fmt.Errorf("snap: checkpoint %s too short (%d bytes)", path, len(data))
 	}

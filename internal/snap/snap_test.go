@@ -2,9 +2,12 @@ package snap
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -303,6 +306,122 @@ func TestWriteFileMissingDir(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "no", "such", "dir", "test.ckpt")
 	if _, err := WriteFile(path, func(w *Writer) error { return nil }); err == nil {
 		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
+
+// TestWriteFileStreams: the streamed WriteFile must not buffer the payload
+// in memory. Writing a payload much larger than the allocation bound proves
+// the bytes go straight to disk through the fixed-size bufio window.
+func TestWriteFileStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.ckpt")
+	const chunkSize = 1 << 16
+	const chunks = 256 // 16 MiB payload
+	chunk := make([]byte, chunkSize)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	n, err := WriteFile(path, func(w *Writer) error {
+		for i := 0; i < chunks; i++ {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+		}
+		return w.Err()
+	})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = chunkSize * chunks
+	if want := int64(payload) + 20; n != want {
+		t.Fatalf("reported size %d, want %d", n, want)
+	}
+	allocated := after.TotalAlloc - before.TotalAlloc
+	if allocated > payload/4 {
+		t.Errorf("WriteFile allocated %d bytes for a %d-byte payload; payload is being buffered", allocated, payload)
+	}
+
+	// The streamed file must still round-trip through the CRC check.
+	total := 0
+	if err := ReadFile(path, func(r *Reader) error {
+		buf := make([]byte, chunkSize)
+		for i := 0; i < chunks; i++ {
+			m, err := io.ReadFull(r, buf)
+			total += m
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, chunk) {
+				return fmt.Errorf("chunk %d corrupted", i)
+			}
+		}
+		return r.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != payload {
+		t.Errorf("read back %d bytes, want %d", total, payload)
+	}
+}
+
+// TestSweepOrphans: orphaned .tmp-* files from a crash mid-install are
+// removed; real checkpoints and unrelated files survive.
+func TestSweepOrphans(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "shard-0001.packed.ckpt")
+	if _, err := WriteFile(ckpt, func(w *Writer) error {
+		w.U64(7)
+		return w.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		"shard-0001.packed.ckpt.tmp-123456",
+		"cell-ab12.ckpt.tmp-9",
+	}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(keep, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepOrphans(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(orphans) {
+		t.Errorf("swept %d files, want %d", removed, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the sweep", name)
+		}
+	}
+	for _, path := range []string{ckpt, keep} {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("sweep removed non-orphan %s: %v", path, err)
+		}
+	}
+	var got uint64
+	if err := ReadFile(ckpt, func(r *Reader) error {
+		got = r.U64()
+		return r.Err()
+	}); err != nil || got != 7 {
+		t.Errorf("checkpoint unreadable after sweep: %v (got %d)", err, got)
+	}
+
+	// A missing directory is not an error — startup sweeps run before the
+	// checkpoint directory may have been created.
+	if n, err := SweepOrphans(filepath.Join(dir, "missing")); err != nil || n != 0 {
+		t.Errorf("missing dir: got (%d, %v), want (0, nil)", n, err)
 	}
 }
 

@@ -91,6 +91,16 @@ func (o *cellObserver) finish(workers int, wall time.Duration) {
 // than consume those zero-valued slots as results. reg and tr are optional
 // observability sinks for per-cell timing, worker count and utilization.
 func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) ([]bool, error) {
+	return runCellsStop(reg, tr, nil, tasks)
+}
+
+// runCellsStop is runCells with a preemption hook: once stop returns true,
+// no further tasks are handed out (in-flight tasks run to their own stop
+// point — each task's runner is expected to consult the same hook). A
+// preempted grid returns a nil error with a partial mask unless an
+// in-flight task reported one; callers that set stop must re-check it
+// before treating the mask as complete.
+func runCellsStop(reg *obs.Registry, tr *obs.Tracer, stop func() bool, tasks []cellTask) ([]bool, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -100,7 +110,7 @@ func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) ([]bool, erro
 	if obsv != nil {
 		start = clock.Now()
 	}
-	completed, err := dispatchCells(workers, obsv, tasks)
+	completed, err := dispatchCells(workers, obsv, stop, tasks)
 	if obsv != nil {
 		obsv.finish(workers, clock.Since(start))
 	}
@@ -113,15 +123,21 @@ func runCells(reg *obs.Registry, tr *obs.Tracer, tasks []cellTask) ([]bool, erro
 // outside a critical section of mu.
 type cellDispatch struct {
 	mu       sync.Mutex
-	tasks    []cellTask // immutable after construction
-	next     int        //twl:guardedby mu
-	firstErr error      //twl:guardedby mu
+	tasks    []cellTask  // immutable after construction
+	stop     func() bool // immutable after construction; nil means never
+	next     int         //twl:guardedby mu
+	firstErr error       //twl:guardedby mu
 }
 
 // grab hands out the next task index, or reports false when the list is
-// exhausted or a worker has failed (workers stop grabbing after the first
-// error).
+// exhausted, a worker has failed (workers stop grabbing after the first
+// error), or the preemption hook fired. The stop poll runs outside the
+// critical section — it is the caller's concurrency-safe hook, not state
+// confined to mu.
 func (d *cellDispatch) grab() (cellTask, int, bool) {
+	if d.stop != nil && d.stop() {
+		return cellTask{}, 0, false
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.firstErr != nil || d.next >= len(d.tasks) {
@@ -151,10 +167,13 @@ func (d *cellDispatch) err() error {
 // dispatchCells executes tasks on up to `workers` goroutines. The returned
 // mask records which tasks completed successfully; each slot is written by
 // exactly one worker before wg.Wait, so the caller reads it race-free.
-func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) ([]bool, error) {
+func dispatchCells(workers int, obsv *cellObserver, stop func() bool, tasks []cellTask) ([]bool, error) {
 	completed := make([]bool, len(tasks))
 	if workers <= 1 {
 		for i, t := range tasks {
+			if stop != nil && stop() {
+				return completed, nil
+			}
 			if err := obsv.observe(t); err != nil {
 				return completed, err
 			}
@@ -162,7 +181,7 @@ func dispatchCells(workers int, obsv *cellObserver, tasks []cellTask) ([]bool, e
 		}
 		return completed, nil
 	}
-	d := &cellDispatch{tasks: tasks}
+	d := &cellDispatch{tasks: tasks, stop: stop}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -26,7 +26,7 @@ func TestDispatchCellsMidGridFailure(t *testing.T) {
 				return nil
 			}}
 		}
-		completed, err := dispatchCells(workers, nil, tasks)
+		completed, err := dispatchCells(workers, nil, nil, tasks)
 		if !errors.Is(err, boom) {
 			t.Fatalf("workers=%d: error %v, want boom", workers, err)
 		}
@@ -65,7 +65,7 @@ func TestDispatchCellsAllComplete(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = cellTask{name: "ok", run: func() error { return nil }}
 	}
-	completed, err := dispatchCells(3, nil, tasks)
+	completed, err := dispatchCells(3, nil, nil, tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,5 +88,35 @@ func TestGridErrorReportsPartialCount(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "cells done") {
 		t.Fatalf("grid error lacks partial-completion count: %v", err)
+	}
+}
+
+// TestDispatchCellsStop: once the preemption hook fires, no further tasks
+// are handed out, and the partial mask tells the caller exactly what ran.
+func TestDispatchCellsStop(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 32
+		var served atomic.Int32
+		var stopped atomic.Bool
+		tasks := make([]cellTask, n)
+		for i := range tasks {
+			tasks[i] = cellTask{name: "cell", run: func() error {
+				if served.Add(1) >= n/4 {
+					stopped.Store(true)
+				}
+				return nil
+			}}
+		}
+		completed, err := dispatchCells(workers, nil, stopped.Load, tasks)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := countCompleted(completed)
+		if got == n {
+			t.Fatalf("workers=%d: grid ran to completion despite the stop", workers)
+		}
+		if int32(got) != served.Load() {
+			t.Fatalf("workers=%d: mask says %d completed, runners served %d", workers, got, served.Load())
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"twl/internal/pcm"
 	"twl/internal/pv"
 	"twl/internal/sim"
+	"twl/internal/snap"
 	"twl/internal/wl"
 )
 
@@ -41,6 +42,14 @@ type ShardedConfig struct {
 	// stream over its own logical space, seeded per shard — the
 	// bank-interleaved view of a device-wide attack).
 	Mode AttackMode
+	// Bench, when non-empty, names a benchmark trace workload instead of an
+	// attack. Trace sources do not factor across bank groups (their address
+	// statistics are not interleave-invariant), so RunShardedLifetime
+	// rejects such configs with ErrUnshardableSource; callers route them to
+	// the unsharded path (RunBenchCell). The field exists so grid
+	// schedulers can submit every cell through one config type and branch
+	// on the typed error instead of guessing.
+	Bench string
 	// Shards is the number of independent bank groups; 0 uses the full
 	// geometry's Ranks × Banks (= 128). SystemConfig.Pages must divide
 	// evenly by it.
@@ -65,6 +74,13 @@ type ShardedConfig struct {
 	Metrics *MetricsRegistry
 	// Trace, when non-nil, receives one cell event per shard run.
 	Trace *Tracer
+	// Stop, when non-nil, preempts the run: the dispatcher stops handing
+	// out shard tasks once it returns true, and in-flight shards wind down
+	// at their next checkpoint (writing a final one first — see
+	// sim.LifetimeConfig.Stop). The run returns an error wrapping
+	// ErrRunStopped; with CheckpointDir set, re-running with Resume
+	// finishes bit-identically. Must be safe for concurrent use.
+	Stop func() bool
 }
 
 // ShardedResult is the merged outcome of a sharded lifetime run. The
@@ -144,7 +160,7 @@ func (r *shardedRun) runShard(i int, cap uint64, phase string) (LifetimeResult, 
 	if err != nil {
 		return LifetimeResult{}, err
 	}
-	lc := sim.LifetimeConfig{MaxDemandWrites: cap}
+	lc := sim.LifetimeConfig{MaxDemandWrites: cap, Stop: r.cfg.Stop}
 	if r.cfg.CheckpointDir != "" {
 		path := filepath.Join(r.cfg.CheckpointDir, fmt.Sprintf("shard-%04d.%s.ckpt", i, phase))
 		resume := false
@@ -185,6 +201,10 @@ func RunShardedLifetime(sys SystemConfig, cfg ShardedConfig) (*ShardedResult, er
 		return nil, fmt.Errorf("twl: %w: sharded runs do not support spare pages (got %d)",
 			ErrBadConfig, sys.SparePages)
 	}
+	if cfg.Bench != "" {
+		return nil, fmt.Errorf("%w: benchmark workload %q must run unsharded (RunBenchCell)",
+			ErrUnshardableSource, cfg.Bench)
+	}
 	shards := cfg.Shards
 	if shards == 0 {
 		full := pcm.DefaultGeometry()
@@ -199,6 +219,12 @@ func RunShardedLifetime(sys SystemConfig, cfg ShardedConfig) (*ShardedResult, er
 	}
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("twl: checkpoint dir: %w", err)
+		}
+		// A SIGKILL mid-install leaves a stale temp file next to the real
+		// checkpoints; no writer is live yet, so this is the safe moment to
+		// clear them.
+		if _, err := snap.SweepOrphans(cfg.CheckpointDir); err != nil {
 			return nil, fmt.Errorf("twl: checkpoint dir: %w", err)
 		}
 	}
@@ -246,9 +272,16 @@ func RunShardedLifetime(sys SystemConfig, cfg ShardedConfig) (*ShardedResult, er
 			return nil
 		}})
 	}
-	if completed, err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
+	completed, err := runCellsStop(cfg.Metrics, cfg.Trace, cfg.Stop, tasks)
+	if err != nil {
 		return nil, fmt.Errorf("twl: sharded scout aborted with %d/%d shards done: %w",
 			countCompleted(completed), len(tasks), err)
+	}
+	// A nil error with an incomplete mask means the preemption hook stopped
+	// the dispatcher before every shard ran.
+	if n := countCompleted(completed); n != len(tasks) {
+		return nil, fmt.Errorf("twl: sharded scout preempted with %d/%d shards done: %w",
+			n, len(tasks), ErrRunStopped)
 	}
 
 	outcomes := make([]sim.ShardOutcome, shards)
@@ -308,9 +341,14 @@ func RunShardedLifetime(sys SystemConfig, cfg ShardedConfig) (*ShardedResult, er
 				return nil
 			}})
 		}
-		if completed, err := runCells(cfg.Metrics, cfg.Trace, tasks); err != nil {
+		completed, err := runCellsStop(cfg.Metrics, cfg.Trace, cfg.Stop, tasks)
+		if err != nil {
 			return nil, fmt.Errorf("twl: sharded exact phase aborted with %d/%d shards done: %w",
 				countCompleted(completed), len(tasks), err)
+		}
+		if n := countCompleted(completed); n != len(tasks) {
+			return nil, fmt.Errorf("twl: sharded exact phase preempted with %d/%d shards done: %w",
+				n, len(tasks), ErrRunStopped)
 		}
 		final = exact
 	}

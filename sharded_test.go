@@ -4,6 +4,8 @@ import (
 	"errors"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"twl/internal/attack"
@@ -225,5 +227,64 @@ func TestShardedDefaultShardCount(t *testing.T) {
 	}
 	if res.ShardPages != sys.Pages/res.Shards {
 		t.Errorf("ShardPages = %d, want %d", res.ShardPages, sys.Pages/res.Shards)
+	}
+}
+
+// TestShardedRejectsBenchSource: benchmark trace sources do not factor
+// across bank groups, so a Bench config must fail with the typed
+// ErrUnshardableSource (the service routes such cells to RunBenchCell).
+func TestShardedRejectsBenchSource(t *testing.T) {
+	sys := shardedTestSystem(3)
+	_, err := RunShardedLifetime(sys, ShardedConfig{Scheme: "TWL_swp", Bench: "vips", Shards: 4})
+	if !errors.Is(err, ErrUnshardableSource) {
+		t.Fatalf("bench source: got %v, want ErrUnshardableSource", err)
+	}
+	if !strings.Contains(err.Error(), "vips") {
+		t.Errorf("error %v does not name the rejected workload", err)
+	}
+}
+
+// TestShardedStopResume: a preempted sharded run returns ErrRunStopped,
+// leaves resumable per-shard checkpoints, and a resumed run without the
+// hook finishes identically to one that was never preempted.
+func TestShardedStopResume(t *testing.T) {
+	sys := shardedTestSystem(5)
+	baseline, err := RunShardedLifetime(sys, ShardedConfig{
+		Scheme: "TWL_swp", Mode: AttackInconsistent, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := ShardedConfig{
+		Scheme:          "TWL_swp",
+		Mode:            AttackInconsistent,
+		Shards:          4,
+		CheckpointDir:   dir,
+		CheckpointEvery: 4096,
+	}
+	stopCfg := cfg
+	var stopped atomic.Bool
+	stopCfg.Stop = func() bool {
+		// Fire on the first poll; every shard then winds down at its next
+		// checkpoint boundary.
+		stopped.Store(true)
+		return true
+	}
+	if _, err := RunShardedLifetime(sys, stopCfg); !errors.Is(err, ErrRunStopped) {
+		t.Fatalf("preempted run: got %v, want ErrRunStopped", err)
+	}
+	if !stopped.Load() {
+		t.Fatal("Stop hook was never polled")
+	}
+
+	cfg.Resume = true
+	resumed, err := RunShardedLifetime(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, resumed) {
+		t.Errorf("resume after preemption differs:\nbaseline: %+v\nresumed: %+v", baseline, resumed)
 	}
 }

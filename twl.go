@@ -19,6 +19,7 @@
 package twl
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -242,7 +243,19 @@ var (
 	// the capacity threshold was crossed, rather than at a bare first
 	// failure.
 	ErrCapacityExhausted = wl.ErrCapacityExhausted
+	// ErrRunStopped is wrapped by preempted runs — a LifetimeConfig.Stop or
+	// ShardedConfig.Stop hook reported true and the run wound down after its
+	// final checkpoint. The run is resumable, not failed.
+	ErrRunStopped = sim.ErrRunStopped
 )
+
+// ErrUnshardableSource is wrapped by RunShardedLifetime when the configured
+// request source cannot be sharded across bank groups — today, benchmark
+// trace sources (ShardedConfig.Bench): the bank-interleaved factoring only
+// holds for the attack streams, whose per-shard statistics are the
+// device-wide attack's. Callers route such cells to the unsharded path
+// (RunBenchCell) on errors.Is.
+var ErrUnshardableSource = errors.New("twl: source cannot be sharded")
 
 // SchemeNames lists the scheme identifiers accepted by NewScheme, in the
 // order the paper's figures present them. The list is derived from the
@@ -342,6 +355,23 @@ func NewDetector(pages int) (*Detector, error) {
 	return detect.New(detect.DefaultConfig(pages))
 }
 
+// AttackModes returns the four Figure 6 attack modes in presentation order.
+func AttackModes() []AttackMode { return attack.Modes() }
+
+// ParseAttackMode resolves an attack name ("repeat", "random", "scan",
+// "inconsistent" — the AttackMode String forms) to its mode. Shared by the
+// command-line tools and the twlsimd job decoder so every entry point
+// accepts exactly the same vocabulary.
+func ParseAttackMode(name string) (AttackMode, error) {
+	for _, m := range attack.Modes() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("twl: %w: unknown attack %q (repeat, random, scan, inconsistent)",
+		ErrBadConfig, name)
+}
+
 // NewAttack constructs one of the Figure 6 attack streams over a system's
 // logical space, wrapped as a simulation request source.
 func NewAttack(mode AttackMode, pages int, seed uint64) (sim.Source, error) {
@@ -383,6 +413,9 @@ type (
 	// PerfConfig controls a performance run (request count, bandwidth
 	// anchor, metrics).
 	PerfConfig = sim.PerfConfig
+	// CheckpointConfig controls periodic run-state serialization and resume
+	// inside a LifetimeConfig.
+	CheckpointConfig = sim.CheckpointConfig
 )
 
 // NewMetrics returns an empty metrics registry. Pass it in a LifetimeConfig
