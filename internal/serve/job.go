@@ -45,8 +45,27 @@ type JobSpec struct {
 	MaxDemandWrites uint64 `json:"max_demand_writes,omitempty"`
 }
 
-// normalize validates the spec, fills defaults, and canonicalizes scheme
-// names so equivalent submissions derive identical cell keys.
+// dedupe drops later duplicates from a grid axis, preserving first-seen
+// order. Axes must be duplicate-free after canonicalization so one job
+// never expands to two cells with the same key — same-key cells share
+// checkpoint paths and may only ever run one at a time (the server
+// serializes them across jobs; within a job they must not exist at all).
+func dedupe[T comparable](in []T) []T {
+	seen := make(map[T]struct{}, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// normalize validates the spec, fills defaults, canonicalizes scheme names
+// and drops duplicate axis entries, so equivalent submissions derive
+// identical cell keys and no job holds two cells with the same key.
 func (sp *JobSpec) normalize() error {
 	if len(sp.Schemes) == 0 {
 		return fmt.Errorf("serve: job needs at least one scheme")
@@ -66,19 +85,23 @@ func (sp *JobSpec) normalize() error {
 		}
 		sp.Schemes[i] = c
 	}
+	sp.Schemes = dedupe(sp.Schemes)
 	for _, name := range sp.Attacks {
 		if _, err := twl.ParseAttackMode(name); err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
+	sp.Attacks = dedupe(sp.Attacks)
 	for _, name := range sp.Benches {
 		if _, err := twl.BenchmarkByName(name); err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
+	sp.Benches = dedupe(sp.Benches)
 	if len(sp.Seeds) == 0 {
 		sp.Seeds = []uint64{1}
 	}
+	sp.Seeds = dedupe(sp.Seeds)
 	def := twl.SmallSystem(0)
 	if sp.Pages == 0 {
 		sp.Pages = def.Pages

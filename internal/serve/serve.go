@@ -7,7 +7,12 @@
 //     a cell's result is a pure function of its construction inputs. Cells
 //     are keyed by a versioned hash of those inputs (see cellMaterial) and
 //     results live in an on-disk cache (internal/cache) — a resubmitted
-//     cell is served from disk with zero simulation writes.
+//     cell is served from disk with zero simulation writes. Same-key cells
+//     also never simulate concurrently: checkpoint paths are derived from
+//     the key, so the dispatcher holds a cell back while its key is in
+//     flight (Server.inflight) and the duplicate settles from the first
+//     run's cache entry instead of racing it. Within one job duplicates
+//     cannot exist at all — spec axes dedupe on submit.
 //   - Preemption and resume: long cells checkpoint through internal/snap
 //     at the simulator's checkpoint cadence. Shutting the server down (or
 //     killing the daemon outright) loses at most one checkpoint interval;
@@ -75,13 +80,17 @@ type Server struct {
 	jobsDir string
 	ckptDir string
 
-	mu     sync.Mutex
-	cond   *sync.Cond      // signals queue growth and shutdown; pairs with mu
-	queue  []cellRef       //twl:guardedby mu
-	jobs   map[string]*job //twl:guardedby mu
-	order  []string        //twl:guardedby mu
-	lastID int             //twl:guardedby mu
-	closed bool            //twl:guardedby mu
+	mu    sync.Mutex
+	cond  *sync.Cond      // signals queue growth, cell completion, shutdown; pairs with mu
+	queue []cellRef       //twl:guardedby mu
+	jobs  map[string]*job //twl:guardedby mu
+	order []string        //twl:guardedby mu
+	// inflight holds the keys of claimed cells. A cell whose key is here
+	// stays on the queue — its checkpoint paths (ckpt/<key>* ) have exactly
+	// one writer — until the running cell settles and broadcasts.
+	inflight map[string]struct{} //twl:guardedby mu
+	lastID   int                 //twl:guardedby mu
+	closed   bool                //twl:guardedby mu
 
 	draining atomic.Bool //twl:guardedby atomic
 	wg       sync.WaitGroup
@@ -144,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		jobsDir:      jobsDir,
 		ckptDir:      ckptDir,
 		jobs:         map[string]*job{},
+		inflight:     map[string]struct{}{},
 		jobsTotal:    reg.Counter("twl_serve_jobs_total"),
 		preemptions:  reg.Counter("twl_serve_preemptions_total"),
 		cellsRunning: reg.Gauge("twl_serve_cells_running"),
@@ -226,15 +236,19 @@ func (s *Server) Submit(spec JobSpec) (id string, cells int, err error) {
 		trace: &obs.TraceBuffer{},
 	}
 	j.tracer = obs.NewTracer(j.trace, s.cfg.TraceEvery)
+	// Persist before publishing: a job whose submission errored must not
+	// linger in memory and run anyway (the restart path would then also
+	// resurrect a job its submitter was told failed).
+	if err := persistJob(s.jobsDir, j); err != nil {
+		s.lastID--
+		return "", 0, err
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.jobsTotal.Inc()
 	for i, c := range list {
 		s.queue = append(s.queue, cellRef{jobID: j.id, idx: i})
 		j.tracer.Emit("cell_queued", obs.F("name", c.name()), obs.F("key", c.Key))
-	}
-	if err := persistJob(s.jobsDir, j); err != nil {
-		return "", 0, err
 	}
 	s.cond.Broadcast()
 	return j.id, len(list), nil
@@ -278,32 +292,49 @@ func (s *Server) workerLoop() {
 	}
 }
 
-// nextCell blocks for the next runnable cell, marking it running inside
-// the same critical section so its status is never observably "pending but
-// claimed". Returns ok=false when the server is draining.
+// nextCell blocks for the next runnable cell, marking it running and its
+// key in flight inside the same critical section so its status is never
+// observably "pending but claimed". Returns ok=false when the server is
+// draining.
 func (s *Server) nextCell() (*job, *cell, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for len(s.queue) > 0 {
-			ref := s.queue[0]
-			s.queue = s.queue[1:]
+		// Closed means stop dispatching immediately, however long the queue
+		// is: unclaimed cells stay pending and their persisted status
+		// re-enqueues them on the next daemon's startup. (Draining only the
+		// in-flight cells bounds Close latency by one checkpoint interval,
+		// not by queue length.)
+		if s.closed {
+			return nil, nil, false
+		}
+		for i := 0; i < len(s.queue); {
+			ref := s.queue[i]
 			j := s.jobs[ref.jobID]
 			if j == nil || ref.idx >= len(j.cells) {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
 				continue
 			}
 			c := j.cells[ref.idx]
 			// Cancelled (or already-finished, after a duplicate enqueue)
-			// cells are settled elsewhere; skip stale refs.
+			// cells are settled elsewhere; drop stale refs.
 			if c.Status != cellPending || j.cancelled {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
 				continue
 			}
+			// A same-key cell (necessarily from another job) is mid-run and
+			// owns the key's checkpoint paths; leave this ref queued. The
+			// owning run's settlement broadcasts, and the cache probe then
+			// serves this cell from the completed result.
+			if _, busy := s.inflight[c.Key]; busy {
+				i++
+				continue
+			}
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			c.Status = cellRunning
+			s.inflight[c.Key] = struct{}{}
 			s.cellsRunning.Add(1)
 			return j, c, true
-		}
-		if s.closed {
-			return nil, nil, false
 		}
 		s.cond.Wait()
 	}
@@ -337,6 +368,7 @@ func (s *Server) runCell(j *job, c *cell) {
 		}
 		payload, merr := json.Marshal(env)
 		if merr != nil {
+			s.removeCheckpoints(c)
 			s.finishCell(j, c, nil, false, merr)
 			return
 		}
@@ -358,6 +390,9 @@ func (s *Server) runCell(j *job, c *cell) {
 		s.preemptions.Inc()
 		s.requeueCell(j, c)
 	default:
+		// A failed cell is terminal too — it never resumes, so keeping its
+		// checkpoint state would leak ckptDir space forever.
+		s.removeCheckpoints(c)
 		s.finishCell(j, c, nil, false, err)
 	}
 }
@@ -471,6 +506,10 @@ func (s *Server) finishCell(j *job, c *cell, res *cellResult, cached bool, err e
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cellsRunning.Add(-1)
+	// The key's checkpoint paths are free again; wake workers that may be
+	// holding a same-key duplicate back.
+	delete(s.inflight, c.Key)
+	s.cond.Broadcast()
 	outcome := outcomeSimulated
 	switch {
 	case err == nil && cached:
@@ -518,6 +557,8 @@ func (s *Server) requeueCell(j *job, c *cell) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cellsRunning.Add(-1)
+	delete(s.inflight, c.Key)
+	s.cond.Broadcast()
 	if j.cancelled {
 		c.Status = cellCancelled
 		s.outcomes[outcomeCancelled].Inc()

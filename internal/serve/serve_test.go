@@ -541,6 +541,202 @@ func TestClosedServerRejectsSubmit(t *testing.T) {
 	}
 }
 
+// TestSpecDedupe: duplicate grid axes — case-variant schemes, repeated
+// workloads and seeds — collapse on normalize, so one job never expands to
+// two cells with the same key (same-key cells share checkpoint paths and
+// must never run concurrently).
+func TestSpecDedupe(t *testing.T) {
+	sp := JobSpec{
+		Schemes: []string{"TWL_swp", "twl_swp", "NOWL"},
+		Attacks: []string{"repeat", "repeat"},
+		Benches: []string{"vips", "vips"},
+		Seeds:   []uint64{1, 1, 2},
+	}
+	if err := sp.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp.Schemes, []string{"TWL_swp", "NOWL"}) {
+		t.Errorf("schemes = %v, want [TWL_swp NOWL]", sp.Schemes)
+	}
+	if !reflect.DeepEqual(sp.Attacks, []string{"repeat"}) {
+		t.Errorf("attacks = %v, want [repeat]", sp.Attacks)
+	}
+	if !reflect.DeepEqual(sp.Benches, []string{"vips"}) {
+		t.Errorf("benches = %v, want [vips]", sp.Benches)
+	}
+	if !reflect.DeepEqual(sp.Seeds, []uint64{1, 2}) {
+		t.Errorf("seeds = %v, want [1 2]", sp.Seeds)
+	}
+	cells := buildCells(sp)
+	if len(cells) != 8 { // 2 schemes × 2 workloads × 2 seeds
+		t.Errorf("cells = %d, want 8", len(cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range cells {
+		if keys[c.Key] {
+			t.Errorf("duplicate cell key %s (%s)", c.Key, c.name())
+		}
+		keys[c.Key] = true
+	}
+}
+
+// TestConcurrentSameKeyJobs: two identical grids in flight at once never
+// simulate a key twice or trip over its shared checkpoint paths — the
+// duplicate cell is held back while the key is in flight and then settles
+// from the first run's cache entry. (Before the in-flight ledger both
+// copies ran against ckpt/<key>, and the first completion's checkpoint
+// removal aborted the survivor's next checkpoint write.) Sharded cells are
+// the worst case: the second run's orphan sweep also deleted the first
+// run's live temp files.
+func TestConcurrentSameKeyJobs(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), 4)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{
+		Schemes:       []string{"TWL_swp"},
+		Attacks:       []string{"repeat", "inconsistent"},
+		Pages:         256,
+		MeanEndurance: 3000,
+		Shards:        4,
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 2; i++ {
+		code, out := postJob(t, ts, string(b))
+		if code != http.StatusCreated {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		ids = append(ids, out["id"].(string))
+	}
+	var done []jobStatus
+	for _, id := range ids {
+		st := waitJob(t, ts, id)
+		if st.Status != "done" {
+			t.Fatalf("job %s finished %q: %+v", id, st.Status, st.Counts)
+		}
+		done = append(done, st)
+	}
+	simulated := srv.Metrics().Counter("twl_serve_cells_total", obs.L("outcome", outcomeSimulated)).Value()
+	cached := srv.Metrics().Counter("twl_serve_cells_total", obs.L("outcome", outcomeCached)).Value()
+	failed := srv.Metrics().Counter("twl_serve_cells_total", obs.L("outcome", outcomeFailed)).Value()
+	if simulated != 2 || cached != 2 || failed != 0 {
+		t.Errorf("outcomes simulated=%v cached=%v failed=%v, want 2/2/0", simulated, cached, failed)
+	}
+	for i := range done[0].Cells {
+		if !reflect.DeepEqual(done[0].Cells[i].Result, done[1].Cells[i].Result) {
+			t.Errorf("same-key cells diverged:\n  first  %+v\n  second %+v",
+				done[0].Cells[i].Result, done[1].Cells[i].Result)
+		}
+	}
+}
+
+// TestSubmitPersistFailure: a submission whose job file cannot be written
+// reports the error and leaves no trace — nothing registered, nothing
+// queued, the id counter unspent — so the service never runs a job its
+// submitter was told failed.
+func TestSubmitPersistFailure(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	// Replace jobs/ with a regular file so the atomic persist cannot even
+	// create its temp file (permission bits are no obstacle when the tests
+	// run as root).
+	if err := os.RemoveAll(srv.jobsDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(srv.jobsDir, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(testSpec()); err == nil {
+		t.Fatal("submit with unwritable jobs dir reported success")
+	}
+	srv.mu.Lock()
+	jobs, queued, last := len(srv.jobs), len(srv.queue), srv.lastID
+	srv.mu.Unlock()
+	if jobs != 0 || queued != 0 || last != 0 {
+		t.Fatalf("failed submit left state behind: jobs=%d queue=%d lastID=%d", jobs, queued, last)
+	}
+	// Restore the directory: the next submission takes the first id.
+	if err := os.Remove(srv.jobsDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(srv.jobsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	id, cells, err := srv.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "job-0001-") || cells != 2 {
+		t.Errorf("post-recovery submit = %s (%d cells), want job-0001-* with 2 cells", id, cells)
+	}
+}
+
+// TestFailedCellRemovesCheckpoint: a cell that fails outright (here by
+// resuming from a corrupt checkpoint, which the CRC rejects) is terminal
+// and must not leak its checkpoint file in ckptDir.
+func TestFailedCellRemovesCheckpoint(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Schemes: []string{"TWL_swp"}, Attacks: []string{"repeat"}, Pages: 256, MeanEndurance: 3000}
+	norm := spec
+	if err := norm.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(srv.ckptDir, buildCells(norm)[0].Key+".ckpt")
+	if err := os.WriteFile(ckpt, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := postJob(t, ts, string(b))
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitJob(t, ts, out["id"].(string))
+	if st.Status != cellFailed || st.Cells[0].Error == "" {
+		t.Fatalf("job finished %q (err %q), want failed with an error", st.Status, st.Cells[0].Error)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("failed cell left its checkpoint behind (stat err: %v)", err)
+	}
+}
+
+// TestCloseStopsDispatch: after Close no queued cell is handed to a worker
+// — drain latency is bounded by the in-flight cells' checkpoint cadence,
+// not by queue length.
+func TestCloseStopsDispatch(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), 1)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	j := &job{id: "test", spec: spec, cells: buildCells(spec)}
+	srv.mu.Lock()
+	srv.jobs[j.id] = j
+	srv.queue = append(srv.queue, cellRef{jobID: j.id, idx: 0})
+	srv.mu.Unlock()
+	if _, _, ok := srv.nextCell(); ok {
+		t.Fatal("nextCell dispatched a queued cell after Close")
+	}
+	if got := j.cells[0].Status; got != cellPending {
+		t.Errorf("queued cell status %q after closed dispatch, want pending", got)
+	}
+}
+
 // TestJobIDDeterminism: ids embed a spec hash and a monotonic counter —
 // no wall clock, no randomness.
 func TestJobIDDeterminism(t *testing.T) {
